@@ -1,0 +1,155 @@
+package bwshare
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the README quickstart path end to end
+// through the public facade only.
+func TestQuickstartFlow(t *testing.T) {
+	s, err := ParseScheme("a: 0 -> 1\nb: 0 -> 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen := MyrinetModel().Penalties(s)
+	if len(pen) != 2 || math.Abs(pen[0]-2) > 1e-9 {
+		t.Fatalf("penalties = %v, want [2 2]", pen)
+	}
+	res := Measure(NewMyrinet(), s)
+	for i, p := range res.Penalties {
+		if math.Abs(p-2) > 0.05 {
+			t.Errorf("measured penalty[%d] = %g, want ~2", i, p)
+		}
+	}
+}
+
+// TestFacadeModels: every model constructor yields a working model with
+// the right name.
+func TestFacadeModels(t *testing.T) {
+	s, _ := NamedScheme("s3")
+	for name, m := range map[string]Model{
+		"gige":       GigEModel(),
+		"myrinet":    MyrinetModel(),
+		"infiniband": InfiniBandModel(),
+		"kimlee":     KimLeeModel(),
+		"linear":     LinearModel(),
+	} {
+		if m.Name() != name {
+			t.Errorf("model %s has name %q", name, m.Name())
+		}
+		p := m.Penalties(s)
+		if len(p) != s.Len() {
+			t.Errorf("%s: %d penalties for %d comms", name, len(p), s.Len())
+		}
+	}
+}
+
+// TestFacadeEngines: substrates and predictor expose RefRate and run a
+// scheme through Measure.
+func TestFacadeEngines(t *testing.T) {
+	s, _ := NamedScheme("s2")
+	for _, e := range []Engine{NewGigE(), NewMyrinet(), NewInfiniBand(), NewPredictor(GigEModel(), 1e8)} {
+		r := Measure(e, s)
+		if len(r.Times) != 2 || r.Times[0] <= 0 {
+			t.Errorf("%s: bad measure result %+v", e.Name(), r)
+		}
+	}
+}
+
+// TestCalibrateThroughFacade recovers beta from the GigE substrate.
+func TestCalibrateThroughFacade(t *testing.T) {
+	m, err := Calibrate("fit", NewGigE(), 3, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Beta-0.75) > 1e-6 {
+		t.Fatalf("beta = %g, want 0.75", m.Beta)
+	}
+}
+
+// TestHPLPipelineThroughFacade: generate, serialize, reload and replay an
+// HPL trace on measured and predicted engines.
+func TestHPLPipelineThroughFacade(t *testing.T) {
+	cfg := DefaultHPLConfig(8)
+	cfg.N = 2400
+	tr, err := HPLTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu := DefaultCluster(4)
+	place, err := Place("rrn", clu, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := Replay(NewMyrinet(), clu, place, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Replay(NewPredictor(MyrinetModel(), NewMyrinet().RefRate()), clu, place, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Makespan <= 0 || pred.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// Predicted and measured must agree within a loose bound on this
+	// lightly contended run.
+	e := AbsoluteError(pred.CommTimes(), meas.CommTimes())
+	if e > 25 {
+		t.Fatalf("Eabs = %.1f%%, want < 25%%", e)
+	}
+}
+
+// TestErrorsMetrics checks the re-exported statistics helpers.
+func TestErrorsMetrics(t *testing.T) {
+	if RelativeError(1.2, 1.0) <= 0 {
+		t.Error("pessimistic prediction must have positive Erel")
+	}
+	if got := AbsoluteError([]float64{1.1, 0.9}, []float64{1, 1}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Eabs = %g, want 10 (averaged magnitudes)", got)
+	}
+}
+
+// TestSchemeRoundTrip through the facade.
+func TestSchemeRoundTrip(t *testing.T) {
+	s, ok := NamedScheme("fig5")
+	if !ok {
+		t.Fatal("fig5 missing from registry")
+	}
+	text := FormatScheme(s)
+	if !strings.Contains(text, "->") {
+		t.Fatalf("FormatScheme output %q", text)
+	}
+	back, err := ParseScheme(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Fatalf("round trip mismatch: %q vs %q", back.String(), s.String())
+	}
+}
+
+// TestPlacementStrategiesExposed: the three paper strategies exist.
+func TestPlacementStrategiesExposed(t *testing.T) {
+	got := PlacementStrategies()
+	if len(got) != 3 {
+		t.Fatalf("strategies = %v", got)
+	}
+	clu := DefaultCluster(4)
+	for _, s := range got {
+		if _, err := Place(s, clu, 8, 7); err != nil {
+			t.Errorf("Place(%s) failed: %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCalibrateGigE(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-net", "gige"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "beta    = 0.7500") {
+		t.Errorf("expected beta 0.75:\n%s", sb.String())
+	}
+}
+
+func TestCalibrateCheck(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-net", "infiniband", "-check"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gamma_o", "mk2", "Eabs"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-net", "nope"},
+		{"-net", "gige", "-kmax", "1"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

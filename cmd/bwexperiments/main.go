@@ -1,0 +1,98 @@
+// Command bwexperiments regenerates every table and figure of the
+// paper's evaluation section plus the ablations of DESIGN.md, printing
+// our simulated results side by side with the published numbers.
+//
+// Usage:
+//
+//	bwexperiments              # everything
+//	bwexperiments -exp f2      # one experiment: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3
+//	bwexperiments -exp f8 -n 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bwshare/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bwexperiments", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 or all")
+	n := fs.Int("n", 20500, "HPL problem size for f8/f9")
+	tasks := fs.Int("tasks", 16, "HPL task count for f8/f9")
+	nodes := fs.Int("nodes", 8, "cluster nodes for f8/f9")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hplCfg := experiments.HPLConfig{N: *n, Tasks: *tasks, Nodes: *nodes, Seed: 42}
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	ran := false
+	if want("f2") {
+		fmt.Fprint(out, experiments.Fig2Table(experiments.Fig2()))
+		ran = true
+	}
+	if want("f4") {
+		fmt.Fprint(out, experiments.Fig4Table(experiments.Fig4()), "\n")
+		ran = true
+	}
+	if want("f5") {
+		fmt.Fprint(out, experiments.Fig5Text(experiments.Fig5()), "\n")
+		ran = true
+	}
+	if want("f6") {
+		fmt.Fprint(out, experiments.Fig6Table(experiments.Fig6()), "\n")
+		ran = true
+	}
+	if want("f7") {
+		for _, r := range experiments.Fig7() {
+			fmt.Fprint(out, experiments.Fig7Table(r), "\n")
+		}
+		ran = true
+	}
+	if want("f8") {
+		r, err := experiments.Fig8(hplCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.HPLText(r, "Figure 8"))
+		ran = true
+	}
+	if want("f9") {
+		r, err := experiments.Fig9(hplCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.HPLText(r, "Figure 9"))
+		ran = true
+	}
+	if want("a1") {
+		fmt.Fprint(out, experiments.A1Table(experiments.AblationStaticVsProgressive()), "\n")
+		ran = true
+	}
+	if want("a2") {
+		fmt.Fprint(out, experiments.A2Table(experiments.AblationConflictRule()), "\n")
+		ran = true
+	}
+	if want("a3") {
+		fmt.Fprint(out, experiments.A3Table(experiments.AblationBaselines()), "\n")
+		ran = true
+	}
+	if want("x1") {
+		fmt.Fprint(out, experiments.MulticoreTable(experiments.Multicore()), "\n")
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

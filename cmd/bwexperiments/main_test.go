@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiments(t *testing.T) {
+	cases := map[string]string{
+		"f2": "Figure 2",
+		"f4": "Figure 4",
+		"f5": "Figure 5",
+		"f6": "Figure 6",
+		"f7": "Figure 7",
+		"a1": "EXP-A1",
+		"a2": "EXP-A2",
+		"a3": "EXP-A3",
+	}
+	for exp, want := range cases {
+		var sb strings.Builder
+		if err := run([]string{"-exp", exp}, &sb); err != nil {
+			t.Errorf("-exp %s: %v", exp, err)
+			continue
+		}
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("-exp %s output missing %q", exp, want)
+		}
+	}
+}
+
+func TestHPLExperimentsSmall(t *testing.T) {
+	for _, exp := range []string{"f8", "f9"} {
+		var sb strings.Builder
+		if err := run([]string{"-exp", exp, "-n", "2400"}, &sb); err != nil {
+			t.Fatalf("-exp %s: %v", exp, err)
+		}
+		if !strings.Contains(sb.String(), "per-task communication time") {
+			t.Errorf("-exp %s missing chart", exp)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "f99"}, &sb); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,138 @@
+// Command bwpredict predicts per-communication times and penalties for a
+// scheme with one of the paper's models, using the progressive simulator
+// of Section VI-A (or the static formulas with -static).
+//
+// Usage:
+//
+//	bwpredict -model myrinet -scheme mk2
+//	bwpredict -model gige -file myscheme.txt -static
+//	bwpredict -model gige -scheme s5 -compare   # side by side with substrate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bwshare/internal/core"
+	"bwshare/internal/graph"
+	"bwshare/internal/measure"
+	"bwshare/internal/model"
+	"bwshare/internal/netsim/gige"
+	"bwshare/internal/netsim/infiniband"
+	"bwshare/internal/netsim/myrinet"
+	"bwshare/internal/predict"
+	"bwshare/internal/report"
+	"bwshare/internal/schemelang"
+	"bwshare/internal/schemes"
+	"bwshare/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bwpredict", flag.ContinueOnError)
+	modelName := fs.String("model", "gige", "penalty model: gige, myrinet, infiniband, kimlee, linear")
+	schemeName := fs.String("scheme", "", "named scheme: "+strings.Join(schemes.Names(), ", "))
+	file := fs.String("file", "", "scheme description file ('-' for stdin)")
+	static := fs.Bool("static", false, "use the static formulas instead of the progressive simulator")
+	compare := fs.Bool("compare", false, "also run the matching substrate and print errors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadScheme(*schemeName, *file)
+	if err != nil {
+		return err
+	}
+	m, sub, err := modelByName(*modelName)
+	if err != nil {
+		return err
+	}
+	ref := sub.RefRate()
+	var times []float64
+	if *static {
+		times = predict.StaticTimes(g, m, ref)
+	} else {
+		times = predict.Times(g, m, ref)
+	}
+	pen := m.Penalties(g)
+	header := []string{"comm", "src", "dst", "static penalty", "time [s]"}
+	var meas measure.Result
+	if *compare {
+		meas = measure.Run(sub, g)
+		header = append(header, "measured [s]", "Erel [%]")
+	}
+	fmt.Fprintf(out, "model %s (progressive=%v), ref rate %.1f MB/s\n", m.Name(), !*static, ref/1e6)
+	t := report.Table{Header: header}
+	for _, c := range g.Comms() {
+		row := []string{
+			c.Label, fmt.Sprint(c.Src), fmt.Sprint(c.Dst),
+			fmt.Sprintf("%.3f", pen[c.ID]),
+			fmt.Sprintf("%.4f", times[c.ID]),
+		}
+		if *compare {
+			row = append(row,
+				fmt.Sprintf("%.4f", meas.Times[c.ID]),
+				fmt.Sprintf("%+.1f", stats.RelErr(times[c.ID], meas.Times[c.ID])))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(out)
+	if *compare {
+		fmt.Fprintf(out, "  Eabs = %.1f%%\n", stats.AbsErr(times, meas.Times))
+	}
+	return nil
+}
+
+func loadScheme(name, file string) (*graph.Graph, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use either -scheme or -file, not both")
+	case name != "":
+		g, ok := schemes.Named(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme %q", name)
+		}
+		return g, nil
+	case file == "-":
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return schemelang.Parse(string(src))
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return schemelang.Parse(string(src))
+	default:
+		return nil, fmt.Errorf("need -scheme <name> or -file <path>")
+	}
+}
+
+// modelByName returns the model and its matching substrate (used for the
+// reference rate and -compare).
+func modelByName(name string) (core.Model, core.Engine, error) {
+	switch name {
+	case "gige":
+		return model.NewGigE(), gige.New(gige.DefaultConfig()), nil
+	case "myrinet":
+		return model.NewMyrinet(), myrinet.New(myrinet.DefaultConfig()), nil
+	case "infiniband", "ib":
+		return model.NewInfiniBand(), infiniband.New(infiniband.DefaultConfig()), nil
+	case "kimlee":
+		return model.KimLee{}, gige.New(gige.DefaultConfig()), nil
+	case "linear":
+		return model.Linear{}, gige.New(gige.DefaultConfig()), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q", name)
+	}
+}

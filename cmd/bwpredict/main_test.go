@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredictNamedScheme(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "myrinet", "-scheme", "mk2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "static penalty") {
+		t.Errorf("missing table:\n%s", sb.String())
+	}
+}
+
+func TestPredictStaticVsProgressive(t *testing.T) {
+	var prog, stat strings.Builder
+	if err := run([]string{"-model", "gige", "-scheme", "fig4"}, &prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "gige", "-scheme", "fig4", "-static"}, &stat); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() == stat.String() {
+		t.Error("static and progressive predictions should differ on fig4")
+	}
+}
+
+func TestPredictCompare(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "myrinet", "-scheme", "s5", "-compare"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"measured", "Erel", "Eabs"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestPredictAllModels(t *testing.T) {
+	for _, m := range []string{"gige", "myrinet", "infiniband", "kimlee", "linear"} {
+		var sb strings.Builder
+		if err := run([]string{"-model", m, "-scheme", "s3"}, &sb); err != nil {
+			t.Errorf("model %s: %v", m, err)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-model", "nope", "-scheme", "s1"},
+		{"-model", "gige"},
+		{"-model", "gige", "-scheme", "bogus"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

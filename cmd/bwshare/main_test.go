@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNamedScheme(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-net", "myrinet", "-scheme", "s4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"myrinet", "penalty", "d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSchemeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.txt")
+	if err := os.WriteFile(path, []byte("a: 0 -> 1\nb: 0 -> 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-net", "gige", "-file", path, "-dot"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Error("missing -dot output")
+	}
+	if !strings.Contains(sb.String(), "1.500") {
+		t.Errorf("expected the 1.5 GigE two-flow penalty:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scheme", "nope"},
+		{"-net", "token-ring", "-scheme", "s1"},
+		{},
+		{"-scheme", "s1", "-file", "x"},
+		{"-file", "/nonexistent/path"},
+	}
+	var sb strings.Builder
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

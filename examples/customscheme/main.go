@@ -1,0 +1,69 @@
+// Customscheme: a tour of the scheme description language and the
+// calibration workflow - write a scheme, inspect its conflicts, measure
+// it, then fit the degree model's parameters to a substrate exactly as
+// Section V-A fits them to a machine.
+//
+// Run with: go run ./examples/customscheme
+package main
+
+import (
+	"fmt"
+
+	"bwshare"
+)
+
+const myScheme = `
+# An 8-node pipeline stage with a hotspot on node 2:
+# two producers feed node 2 while node 2 streams to a consumer,
+# and an unrelated pair talks in the background.
+volume 8MB
+p1: 0 -> 2
+p2: 1 -> 2
+out: 2 -> 3 16MB
+bg:  4 -> 5
+`
+
+func main() {
+	scheme, err := bwshare.ParseScheme(myScheme)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("parsed:", scheme)
+	fmt.Print("canonical form:\n", bwshare.FormatScheme(scheme))
+
+	// Static penalties under every model, incl. the baselines.
+	fmt.Println("\nstatic penalties:")
+	models := []bwshare.Model{
+		bwshare.GigEModel(), bwshare.MyrinetModel(), bwshare.InfiniBandModel(),
+		bwshare.KimLeeModel(), bwshare.LinearModel(),
+	}
+	for _, m := range models {
+		fmt.Printf("  %-11s", m.Name())
+		for i, p := range m.Penalties(scheme) {
+			fmt.Printf(" %s=%.2f", scheme.Comm(bwshare.CommID(i)).Label, p)
+		}
+		fmt.Println()
+	}
+
+	// Calibrate a fresh degree model against the InfiniBand substrate,
+	// the paper's announced future work.
+	fitted, err := bwshare.Calibrate("my-ib", bwshare.NewInfiniBand(), 4, 20e6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncalibrated against the InfiniBand substrate: beta=%.4f gamma_o=%.4f gamma_i=%.4f\n",
+		fitted.Beta, fitted.GammaOut, fitted.GammaIn)
+	fmt.Printf("fitted model on the scheme: ")
+	for i, p := range fitted.Penalties(scheme) {
+		fmt.Printf("%s=%.2f ", scheme.Comm(bwshare.CommID(i)).Label, p)
+	}
+	fmt.Println()
+
+	// And the ground truth from the substrate.
+	res := bwshare.Measure(bwshare.NewInfiniBand(), scheme)
+	fmt.Printf("substrate measurement:      ")
+	for _, c := range scheme.Comms() {
+		fmt.Printf("%s=%.2f ", c.Label, res.Penalties[c.ID])
+	}
+	fmt.Println()
+}

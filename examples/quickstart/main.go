@@ -1,0 +1,54 @@
+// Quickstart: build a small communication scheme, predict its penalties
+// with the paper's models, and compare against a simulated "measurement"
+// on the Myrinet substrate.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwshare"
+)
+
+func main() {
+	// Three concurrent 20 MB sends out of node 0, plus one send from
+	// node 4 into node 2: scheme S4 of the paper's Figure 2.
+	scheme, err := bwshare.ParseScheme(`
+		volume 20MB
+		a: 0 -> 1
+		b: 0 -> 2
+		c: 0 -> 3
+		d: 4 -> 2
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Static penalties from the two published models.
+	fmt.Println("scheme:", scheme)
+	for _, m := range []bwshare.Model{bwshare.GigEModel(), bwshare.MyrinetModel()} {
+		fmt.Printf("%-8s model penalties: ", m.Name())
+		for i, p := range m.Penalties(scheme) {
+			fmt.Printf("%s=%.2f ", scheme.Comm(bwshare.CommID(i)).Label, p)
+		}
+		fmt.Println()
+	}
+
+	// "Measure" the same scheme on the simulated Myrinet cluster.
+	res := bwshare.Measure(bwshare.NewMyrinet(), scheme)
+	fmt.Printf("myrinet substrate:       ")
+	for _, c := range scheme.Comms() {
+		fmt.Printf("%s=%.2f ", c.Label, res.Penalties[c.ID])
+	}
+	fmt.Println()
+
+	// Progressive prediction (the paper's simulator) of absolute times.
+	times := bwshare.PredictTimes(scheme, bwshare.MyrinetModel(), res.RefRate)
+	fmt.Printf("predicted times [s]:     ")
+	for _, c := range scheme.Comms() {
+		fmt.Printf("%s=%.3f ", c.Label, times[c.ID])
+	}
+	fmt.Println()
+}

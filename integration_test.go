@@ -1,0 +1,161 @@
+package bwshare
+
+// Cross-module integration tests: the same workloads pushed through
+// schemes -> engines -> replay/measure -> stats, checking that the
+// independently implemented paths agree where they must.
+
+import (
+	"math"
+	"testing"
+
+	"bwshare/internal/trace"
+)
+
+// schemeAsTrace converts a scheme into an equivalent application trace:
+// every communication becomes a (send, recv) pair between dedicated
+// tasks placed on the scheme's nodes, all ready at time zero.
+func schemeAsTrace(t *testing.T, g *Scheme) (*Trace, Cluster, Placement) {
+	t.Helper()
+	tr := &Trace{}
+	var place Placement
+	maxNode := NodeID(0)
+	for _, c := range g.Comms() {
+		sender := len(tr.Tasks)
+		tr.Tasks = append(tr.Tasks, []TraceEvent{
+			{Kind: trace.Send, Peer: sender + 1, Bytes: c.Volume, Tag: int(c.ID)},
+		})
+		tr.Tasks = append(tr.Tasks, []TraceEvent{
+			{Kind: trace.Recv, Peer: sender, Bytes: c.Volume, Tag: int(c.ID)},
+		})
+		place = append(place, c.Src, c.Dst)
+		if c.Src > maxNode {
+			maxNode = c.Src
+		}
+		if c.Dst > maxNode {
+			maxNode = c.Dst
+		}
+	}
+	clu := Cluster{Nodes: int(maxNode) + 1, CoresPerNode: 2 * len(tr.Tasks), MemRate: 1e9, MemLatency: 0}
+	return tr, clu, place
+}
+
+// TestReplayMatchesMeasure: running a scheme through the trace replayer
+// (rendezvous pairs, all ready at t=0) must give exactly the same
+// per-communication times as measure.Run, on every substrate. This ties
+// the two independent drivers together.
+func TestReplayMatchesMeasure(t *testing.T) {
+	for _, name := range []string{"s4", "s5", "mk2"} {
+		g, ok := NamedScheme(name)
+		if !ok {
+			t.Fatalf("scheme %s missing", name)
+		}
+		for _, mk := range []func() Engine{NewGigE, NewMyrinet, NewInfiniBand} {
+			e := mk()
+			meas := Measure(e, g)
+			tr, clu, place := schemeAsTrace(t, g)
+			rep, err := Replay(mk(), clu, place, tr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, e.Name(), err)
+			}
+			for _, c := range g.Comms() {
+				sendTask := 2 * int(c.ID)
+				got := rep.Tasks[sendTask].SendTime
+				want := meas.Times[c.ID]
+				if math.Abs(got-want) > 1e-9*want {
+					t.Errorf("%s/%s comm %s: replay %.6f vs measure %.6f",
+						name, e.Name(), c.Label, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictorEngineMatchesPredictTimes: the predictor engine driven
+// through Measure agrees with PredictTimes.
+func TestPredictorEngineMatchesPredictTimes(t *testing.T) {
+	g, _ := NamedScheme("mk1")
+	ref := 1e8
+	direct := PredictTimes(g, MyrinetModel(), ref)
+	viaMeasure := Measure(NewPredictor(MyrinetModel(), ref), g)
+	for i := range direct {
+		if math.Abs(direct[i]-viaMeasure.Times[i]) > 1e-9 {
+			t.Errorf("comm %d: %.6f vs %.6f", i, direct[i], viaMeasure.Times[i])
+		}
+	}
+}
+
+// TestEnginesAreReusable: measuring twice on one engine instance gives
+// identical results (reset correctness across all engines).
+func TestEnginesAreReusable(t *testing.T) {
+	g, _ := NamedScheme("s6")
+	for _, e := range []Engine{NewGigE(), NewMyrinet(), NewInfiniBand()} {
+		a := Measure(e, g)
+		b := Measure(e, g)
+		for i := range a.Times {
+			if a.Times[i] != b.Times[i] {
+				t.Errorf("%s: run-to-run drift on comm %d: %g vs %g", e.Name(), i, a.Times[i], b.Times[i])
+			}
+		}
+	}
+}
+
+// TestVolumeLinearityOfFluidEngines: fluid substrates are exactly linear
+// in volume, the packet substrate nearly so (quantization < 1%).
+func TestVolumeLinearityOfFluidEngines(t *testing.T) {
+	g1, _ := ParseScheme("volume 10MB\na: 0 -> 1\nb: 0 -> 2\nc: 3 -> 2")
+	g2, _ := ParseScheme("volume 20MB\na: 0 -> 1\nb: 0 -> 2\nc: 3 -> 2")
+	for _, mk := range []func() Engine{NewGigE, NewInfiniBand} {
+		e := mk()
+		t1 := Measure(e, g1)
+		t2 := Measure(e, g2)
+		for i := range t1.Times {
+			if math.Abs(t2.Times[i]-2*t1.Times[i]) > 1e-9*t2.Times[i] {
+				t.Errorf("%s comm %d: 2x volume gave %.6f, want %.6f", e.Name(), i, t2.Times[i], 2*t1.Times[i])
+			}
+		}
+	}
+	e := NewMyrinet()
+	t1 := Measure(e, g1)
+	t2 := Measure(e, g2)
+	for i := range t1.Times {
+		if math.Abs(t2.Times[i]-2*t1.Times[i]) > 0.01*t2.Times[i] {
+			t.Errorf("myrinet comm %d: 2x volume gave %.6f, want ~%.6f", i, t2.Times[i], 2*t1.Times[i])
+		}
+	}
+}
+
+// TestCalibratedModelRoundTrip: fitting the degree model to a substrate
+// and predicting the calibration schemes reproduces the substrate's own
+// star penalties exactly (closure of the Section V-A loop).
+func TestCalibratedModelRoundTrip(t *testing.T) {
+	for _, mk := range []func() Engine{NewGigE, NewInfiniBand} {
+		e := mk()
+		m, err := Calibrate("fit", e, 4, 20e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 4; k++ {
+			g, _ := ParseScheme(FormatScheme(mustStar(t, k)))
+			meas := Measure(mk(), g)
+			pred := m.Penalties(g)
+			for i := range pred {
+				if math.Abs(pred[i]-meas.Penalties[i]) > 0.02*meas.Penalties[i] {
+					t.Errorf("%s star(%d): fitted %.4f vs substrate %.4f", e.Name(), k, pred[i], meas.Penalties[i])
+				}
+			}
+		}
+	}
+}
+
+func mustStar(t *testing.T, k int) *Scheme {
+	t.Helper()
+	b := NewScheme()
+	for i := 1; i <= k; i++ {
+		b.Add(string(rune('a'+i-1)), 0, NodeID(i), 20e6)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,199 @@
+// Package apps generates application event traces beyond Linpack: the
+// communication skeletons of common HPC workloads (halo exchange,
+// all-to-all transposes, tree broadcasts) and compositions of several
+// applications sharing one cluster.
+//
+// The paper's introduction motivates the models with "one or several
+// applications" whose tasks "create concurrent access over network";
+// these generators produce exactly such workloads for the replay driver,
+// so the models can be evaluated on patterns with much denser conflicts
+// than the HPL ring.
+//
+// All generators emit strictly blocking rendezvous-safe orderings (the
+// replay driver implements blocking MPI_Send semantics, so a circular
+// chain of send-first tasks would deadlock): halo exchanges use parity
+// ordering per dimension, the all-to-all uses the XOR pairwise-exchange
+// schedule, and broadcasts use a binomial tree.
+package apps
+
+import (
+	"fmt"
+
+	"bwshare/internal/trace"
+)
+
+// Halo2D generates a 2D toroidal stencil (halo exchange) trace: tasks
+// form a px x py grid; every iteration each task computes, then
+// exchanges halos with its neighbours in +x, -x, +y, -y order using
+// parity ordering (even coordinate sends first, odd receives first).
+// Each grid dimension must be even or 1 so the parity pairing is
+// consistent around the torus.
+func Halo2D(px, py, iters int, haloBytes, computeSec float64) (*trace.Trace, error) {
+	if px < 1 || py < 1 || px*py < 2 {
+		return nil, fmt.Errorf("apps: grid %dx%d too small", px, py)
+	}
+	if (px > 1 && px%2 != 0) || (py > 1 && py%2 != 0) {
+		return nil, fmt.Errorf("apps: grid dimensions must be even (or 1), got %dx%d", px, py)
+	}
+	if iters < 1 || haloBytes <= 0 || computeSec < 0 {
+		return nil, fmt.Errorf("apps: invalid halo parameters")
+	}
+	p := px * py
+	t := &trace.Trace{Tasks: make([]trace.Task, p)}
+	rank := func(x, y int) int { return ((y+py)%py)*px + (x+px)%px }
+	add := func(r int, ev trace.Event) { t.Tasks[r] = append(t.Tasks[r], ev) }
+	// exchange emits the blocking exchange of one dimension for task r:
+	// with its positive neighbour using tag tagP, then its negative
+	// neighbour using tag tagN; even coordinates send first.
+	exchange := func(r, coord, posPeer, negPeer, tagP, tagN int) {
+		if posPeer == r {
+			return // 1-wide dimension
+		}
+		sendPos := trace.Event{Kind: trace.Send, Peer: posPeer, Bytes: haloBytes, Tag: tagP}
+		recvNeg := trace.Event{Kind: trace.Recv, Peer: negPeer, Bytes: haloBytes, Tag: tagP}
+		sendNeg := trace.Event{Kind: trace.Send, Peer: negPeer, Bytes: haloBytes, Tag: tagN}
+		recvPos := trace.Event{Kind: trace.Recv, Peer: posPeer, Bytes: haloBytes, Tag: tagN}
+		if coord%2 == 0 {
+			add(r, sendPos)
+			add(r, recvNeg)
+			add(r, sendNeg)
+			add(r, recvPos)
+		} else {
+			add(r, recvNeg)
+			add(r, sendPos)
+			add(r, recvPos)
+			add(r, sendNeg)
+		}
+	}
+	for k := 0; k < iters; k++ {
+		for y := 0; y < py; y++ {
+			for x := 0; x < px; x++ {
+				r := rank(x, y)
+				add(r, trace.Event{Kind: trace.Compute, Duration: computeSec})
+				exchange(r, x, rank(x+1, y), rank(x-1, y), k*4+0, k*4+1)
+				exchange(r, y, rank(x, y+1), rank(x, y-1), k*4+2, k*4+3)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: halo trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// AllToAll generates iters rounds of a complete pairwise exchange among
+// p tasks (p must be a power of two) using the XOR schedule: in step s =
+// 1..p-1 task i exchanges one message of bytes with partner i XOR s, the
+// lower rank sending first. Every node NIC carries traffic in both
+// directions simultaneously, producing the dense incoming/outgoing
+// conflict mix of the paper's Figure 2 schemes.
+func AllToAll(p, iters int, bytes, computeSec float64) (*trace.Trace, error) {
+	if p < 2 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("apps: alltoall needs a power-of-two task count, got %d", p)
+	}
+	if iters < 1 || bytes <= 0 || computeSec < 0 {
+		return nil, fmt.Errorf("apps: invalid alltoall parameters")
+	}
+	t := &trace.Trace{Tasks: make([]trace.Task, p)}
+	for k := 0; k < iters; k++ {
+		for r := 0; r < p; r++ {
+			if computeSec > 0 {
+				t.Tasks[r] = append(t.Tasks[r], trace.Event{Kind: trace.Compute, Duration: computeSec})
+			}
+		}
+		for s := 1; s < p; s++ {
+			tag := k*p + s
+			for r := 0; r < p; r++ {
+				partner := r ^ s
+				snd := trace.Event{Kind: trace.Send, Peer: partner, Bytes: bytes, Tag: tag}
+				rcv := trace.Event{Kind: trace.Recv, Peer: partner, Bytes: bytes, Tag: tag}
+				if r < partner {
+					t.Tasks[r] = append(t.Tasks[r], snd, rcv)
+				} else {
+					t.Tasks[r] = append(t.Tasks[r], rcv, snd)
+				}
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: alltoall trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// Broadcast generates iters binomial-tree broadcasts of bytes from rank
+// 0 over p tasks, each followed by a compute phase - a pure outgoing
+// conflict generator: inner tree ranks send to several children back to
+// back, and co-located parents contend for their shared NIC.
+func Broadcast(p, iters int, bytes, computeSec float64) (*trace.Trace, error) {
+	if p < 2 || iters < 1 || bytes <= 0 || computeSec < 0 {
+		return nil, fmt.Errorf("apps: invalid broadcast parameters")
+	}
+	t := &trace.Trace{Tasks: make([]trace.Task, p)}
+	for k := 0; k < iters; k++ {
+		for j := 1; j < p; j *= 2 {
+			for r := 0; r < j && r < p; r++ {
+				peer := r + j
+				if peer >= p {
+					continue
+				}
+				tag := k*64 + j
+				t.Tasks[r] = append(t.Tasks[r], trace.Event{Kind: trace.Send, Peer: peer, Bytes: bytes, Tag: tag})
+				t.Tasks[peer] = append(t.Tasks[peer], trace.Event{Kind: trace.Recv, Peer: r, Bytes: bytes, Tag: tag})
+			}
+		}
+		for r := 0; r < p; r++ {
+			if computeSec > 0 {
+				t.Tasks[r] = append(t.Tasks[r], trace.Event{Kind: trace.Compute, Duration: computeSec})
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: broadcast trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// Compose co-locates several applications on one cluster: the traces are
+// concatenated task-wise into a single trace whose rank space is the
+// union (app 0 ranks first, then app 1, ...). Each application keeps its
+// internal communication; the applications interact only through the
+// shared network - the paper's "one or several applications" scenario.
+//
+// The replay driver's barriers are global, so Compose rejects traces
+// containing barriers: they would synchronize unrelated applications.
+// Tags are remapped so equal tags in different applications cannot
+// cross-match through ANY_SOURCE receives.
+func Compose(apps ...*trace.Trace) (*trace.Trace, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("apps: nothing to compose")
+	}
+	out := &trace.Trace{}
+	offset := 0
+	for ai, app := range apps {
+		for _, task := range app.Tasks {
+			shifted := make(trace.Task, 0, len(task))
+			for _, ev := range task {
+				switch ev.Kind {
+				case trace.Barrier:
+					return nil, fmt.Errorf("apps: application %d has a barrier; Compose requires barrier-free traces", ai)
+				case trace.Send:
+					ev.Peer += offset
+					ev.Tag = ev.Tag*len(apps) + ai
+				case trace.Recv:
+					if ev.Peer != trace.AnySource {
+						ev.Peer += offset
+					}
+					ev.Tag = ev.Tag*len(apps) + ai
+				}
+				shifted = append(shifted, ev)
+			}
+			out.Tasks = append(out.Tasks, shifted)
+		}
+		offset += len(app.Tasks)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: composed trace invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+// Package calibrate estimates the parameters of the quantitative degree
+// model from measurements, exactly as Section V-A prescribes:
+//
+//   - beta from simple outgoing conflicts: run k-way stars, divide the
+//     observed penalty by k, average;
+//   - gamma_o and gamma_i from the Figure 4 scheme:
+//     gamma_o = 1 - Ta / (3 * beta * Tref)
+//     gamma_i = 1 - Tf / (3 * beta * Tref)
+//     where Ta and Tf are the times of communications (a) and (f) and
+//     Tref is the idle-network time of the same volume.
+//
+// The functions take any core.Engine, so parameters can be fitted to the
+// bundled substrates or to traces from a real machine wrapped in an
+// engine.
+package calibrate
+
+import (
+	"fmt"
+
+	"bwshare/internal/core"
+	"bwshare/internal/measure"
+	"bwshare/internal/model"
+	"bwshare/internal/schemes"
+)
+
+// Beta estimates beta from outgoing conflicts of 2..kmax communications.
+func Beta(e core.Engine, kmax int, volume float64) (float64, error) {
+	if kmax < 2 {
+		return 0, fmt.Errorf("calibrate: kmax = %d, need >= 2", kmax)
+	}
+	sum, n := 0.0, 0
+	for k := 2; k <= kmax; k++ {
+		r := measure.Run(e, schemes.Star(k, volume))
+		for _, p := range r.Penalties {
+			sum += p / float64(k)
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// Gammas estimates gamma_o and gamma_i from the Figure 4 scheme run on e,
+// given beta. Communication (a) leaves the node with the maximal
+// out-degree towards an idle receiver; (f) enters the node with the
+// maximal in-degree from an idle sender.
+func Gammas(e core.Engine, beta float64) (gammaOut, gammaIn float64, err error) {
+	if beta <= 0 {
+		return 0, 0, fmt.Errorf("calibrate: beta = %g, need > 0", beta)
+	}
+	g := schemes.Fig4()
+	r := measure.Run(e, g)
+	ca, ok := g.ByLabel("a")
+	if !ok {
+		panic("calibrate: Figure 4 scheme lost communication a")
+	}
+	cf, ok := g.ByLabel("f")
+	if !ok {
+		panic("calibrate: Figure 4 scheme lost communication f")
+	}
+	tref := schemes.Fig4Volume / r.RefRate
+	ta := r.Times[ca.ID]
+	tf := r.Times[cf.ID]
+	gammaOut = 1 - ta/(3*beta*tref)
+	gammaIn = 1 - tf/(3*beta*tref)
+	return gammaOut, gammaIn, nil
+}
+
+// Fit runs the full Section V-A procedure against an engine and returns a
+// calibrated degree model.
+func Fit(name string, e core.Engine, kmax int, volume float64) (model.DegreeModel, error) {
+	beta, err := Beta(e, kmax, volume)
+	if err != nil {
+		return model.DegreeModel{}, err
+	}
+	gout, gin, err := Gammas(e, beta)
+	if err != nil {
+		return model.DegreeModel{}, err
+	}
+	return model.DegreeModel{ModelName: name, Beta: beta, GammaOut: gout, GammaIn: gin}, nil
+}

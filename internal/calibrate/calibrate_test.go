@@ -1,0 +1,68 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"bwshare/internal/netsim/gige"
+	"bwshare/internal/schemes"
+)
+
+// TestBetaRecoversGigE: calibrating against the GigE substrate recovers
+// the paper's beta = 0.75 (the substrate was built from that mechanism,
+// so this closes the loop: substrate -> measurement -> parameter).
+func TestBetaRecoversGigE(t *testing.T) {
+	e := gige.New(gige.DefaultConfig())
+	beta, err := Beta(e, 4, schemes.Fig2Volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta-0.75) > 1e-6 {
+		t.Fatalf("beta = %.6f, want 0.75", beta)
+	}
+}
+
+// TestGammasSigns: on the pause-coupled substrate, communication (a)
+// leaves the maximal-out-degree node, so gamma_o reflects how much the
+// strongly-slowed flows differ; both gammas must land in [-1, 1) and the
+// fitted model must predict the substrate's star penalties exactly
+// (stars do not exercise gamma).
+func TestGammasSigns(t *testing.T) {
+	e := gige.New(gige.DefaultConfig())
+	gout, gin, err := Gammas(e, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]float64{"gamma_o": gout, "gamma_i": gin} {
+		if g <= -1 || g >= 1 || math.IsNaN(g) {
+			t.Errorf("%s = %g out of plausible range", name, g)
+		}
+	}
+}
+
+func TestFitProducesWorkingModel(t *testing.T) {
+	e := gige.New(gige.DefaultConfig())
+	m, err := Fit("fit-gige", e, 4, schemes.Fig2Volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "fit-gige" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	p := m.Penalties(schemes.Star(3, schemes.Fig2Volume))
+	for _, v := range p {
+		if math.Abs(v-3*m.Beta) > 1e-9 {
+			t.Fatalf("fitted model star penalty = %g, want %g", v, 3*m.Beta)
+		}
+	}
+}
+
+func TestBetaValidation(t *testing.T) {
+	e := gige.New(gige.DefaultConfig())
+	if _, err := Beta(e, 1, schemes.Fig2Volume); err == nil {
+		t.Error("kmax < 2 accepted")
+	}
+	if _, _, err := Gammas(e, 0); err == nil {
+		t.Error("beta <= 0 accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Package core defines the shared contracts of the bwshare library: the
+// penalty Model interface implemented by the paper's predictive models and
+// the network Engine interface implemented by the "measured" substrates
+// and by the model-driven predictor.
+//
+// Everything in the paper reduces to these two abstractions:
+//
+//   - A Model maps a communication scheme graph to one penalty per
+//     communication. Penalty p means "this transfer takes p times longer
+//     than it would on an idle network" (Section IV-B).
+//   - An Engine transfers flows between cluster nodes on a simulated
+//     clock. The three interconnect substrates (GigE, Myrinet, InfiniBand)
+//     are Engines, and so is the paper's model-driven simulator; measured
+//     and predicted times come from running the same driver over different
+//     Engines.
+package core
+
+import (
+	"bwshare/internal/graph"
+)
+
+// Model is a predictive bandwidth-sharing penalty model (Section V).
+type Model interface {
+	// Name identifies the model, e.g. "gige", "myrinet".
+	Name() string
+	// Penalties returns one penalty per communication of g, indexed by
+	// graph.CommID. Every penalty is >= 1. Implementations must not
+	// retain or mutate g.
+	Penalties(g *graph.Graph) []float64
+}
+
+// Completion reports that a flow finished at a simulated time.
+type Completion struct {
+	Flow int     // id returned by StartFlow
+	Time float64 // seconds on the engine clock
+}
+
+// Engine is an incremental network simulator. Time is a float64 number of
+// seconds starting at 0. Flows may be added at the current frontier; the
+// replay driver interleaves engine progress with task-level events.
+//
+// The contract:
+//
+//   - StartFlow(src, dst, bytes, now) registers a flow beginning at time
+//     now, which must be >= the engine's current frontier (the time last
+//     returned by Advance, 0 initially). It returns a flow id unique for
+//     the engine's lifetime.
+//   - Advance(limit) runs the engine forward until either limit is
+//     reached or at least one flow completes, whichever is earlier. It
+//     returns the flows that completed at the reached instant (all with
+//     the same Time) and the new frontier. An engine with no active flows
+//     jumps straight to limit.
+//
+// This "advance until the next completion" contract is what lets a driver
+// co-simulate tasks and network without lookahead or rollback: the driver
+// always knows its next task event time and never lets the engine run past
+// a moment at which new flows could be injected.
+type Engine interface {
+	// Name identifies the engine, e.g. "gige".
+	Name() string
+	// StartFlow registers a transfer of volume bytes from node src to
+	// node dst starting at time now, and returns its flow id.
+	StartFlow(src, dst graph.NodeID, bytes float64, now float64) int
+	// Advance runs until limit or the first completion instant.
+	Advance(limit float64) (done []Completion, now float64)
+	// RefRate returns the reference point-to-point rate in bytes/second:
+	// the steady rate of a single flow on an otherwise idle network.
+	// Tref for a volume V is approximately V/RefRate (the paper's 20 MB
+	// messages make fixed per-message overheads negligible).
+	RefRate() float64
+}
+
+// Resetter is implemented by engines that can be returned to an empty
+// state at time zero, allowing reuse across experiment repetitions.
+type Resetter interface {
+	Reset()
+}
+
+// Drain advances e repeatedly with no time limit and returns every
+// completion, sorted by the order the engine reported them. It is the
+// standard way to finish a scheme in which all flows are already started.
+func Drain(e Engine) []Completion {
+	var all []Completion
+	for {
+		done, _ := e.Advance(Inf)
+		if len(done) == 0 {
+			return all
+		}
+		all = append(all, done...)
+	}
+}
+
+// Inf is the positive infinity time limit used to run engines dry.
+const Inf = 1e300

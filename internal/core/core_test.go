@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"bwshare/internal/graph"
+)
+
+// stubEngine completes one flow per Advance call at fixed times.
+type stubEngine struct {
+	times []float64
+	next  int
+}
+
+func (s *stubEngine) Name() string     { return "stub" }
+func (s *stubEngine) RefRate() float64 { return 1 }
+func (s *stubEngine) StartFlow(src, dst graph.NodeID, bytes, now float64) int {
+	return 0
+}
+func (s *stubEngine) Advance(limit float64) ([]Completion, float64) {
+	if s.next >= len(s.times) {
+		return nil, limit
+	}
+	t := s.times[s.next]
+	if t > limit {
+		return nil, limit
+	}
+	s.next++
+	return []Completion{{Flow: s.next - 1, Time: t}}, t
+}
+
+func TestDrainCollectsAllCompletions(t *testing.T) {
+	e := &stubEngine{times: []float64{1, 2, 5}}
+	got := Drain(e)
+	if len(got) != 3 {
+		t.Fatalf("completions = %v, want 3", got)
+	}
+	for i, c := range got {
+		if c.Flow != i {
+			t.Errorf("completion %d has flow %d", i, c.Flow)
+		}
+	}
+}
+
+func TestDrainEmptyEngine(t *testing.T) {
+	if got := Drain(&stubEngine{}); got != nil {
+		t.Fatalf("Drain of idle engine = %v, want nil", got)
+	}
+}

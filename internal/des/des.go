@@ -1,0 +1,134 @@
+// Package des provides a minimal deterministic discrete-event simulation
+// kernel: a time-ordered event queue with stable tie-breaking.
+//
+// It underlies the Myrinet packet-level substrate and the trace replay
+// driver. Determinism matters: the paper's evaluation compares measured
+// and predicted times, and flaky substrates would make relative errors
+// unstable; ties are broken by insertion sequence number.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type Event struct {
+	Time float64
+	Fn   func()
+
+	seq   uint64
+	index int
+	fired bool
+}
+
+// Queue is a deterministic event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	now float64
+}
+
+// Now returns the current simulation time (the time of the last event
+// dispatched by Step, 0 initially).
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time t and returns the event handle,
+// which can be passed to Cancel. Scheduling in the past (t < Now) panics:
+// it always indicates a simulator bug.
+func (q *Queue) Schedule(t float64, fn func()) *Event {
+	if t < q.now {
+		panic("des: scheduling into the past")
+	}
+	ev := &Event{Time: t, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (q *Queue) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, ev.index)
+	ev.index = -1
+}
+
+// PeekTime returns the time of the next event.
+func (q *Queue) PeekTime() (float64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Time, true
+}
+
+// Step dispatches the next event and returns its time. ok is false when
+// the queue is empty.
+func (q *Queue) Step() (t float64, ok bool) {
+	if len(q.h) == 0 {
+		return q.now, false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	ev.fired = true
+	ev.index = -1
+	q.now = ev.Time
+	ev.Fn()
+	return ev.Time, true
+}
+
+// RunUntil dispatches events with time <= t, then sets the clock to t.
+func (q *Queue) RunUntil(t float64) {
+	for {
+		nt, ok := q.PeekTime()
+		if !ok || nt > t {
+			break
+		}
+		q.Step()
+	}
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// Drain dispatches every pending event.
+func (q *Queue) Drain() {
+	for {
+		if _, ok := q.Step(); !ok {
+			return
+		}
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,126 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestOrderAndClock(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(2.0, func() { got = append(got, 2) })
+	q.Schedule(1.0, func() { got = append(got, 1) })
+	q.Schedule(3.0, func() { got = append(got, 3) })
+	q.Drain()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if q.Now() != 3.0 {
+		t.Fatalf("Now = %g, want 3", q.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(1.0, func() { got = append(got, i) })
+	}
+	q.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	ev := q.Schedule(1.0, func() { fired = true })
+	q.Cancel(ev)
+	q.Drain()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	q.Cancel(ev) // double cancel is a no-op
+	q.Cancel(nil)
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	var q Queue
+	ev := q.Schedule(1.0, func() {})
+	q.Drain()
+	q.Cancel(ev) // no-op, no panic
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var got []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		q.Schedule(tm, func() { got = append(got, tm) })
+	}
+	q.RunUntil(2.5)
+	if len(got) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2", got)
+	}
+	if q.Now() != 2.5 {
+		t.Fatalf("Now = %g, want 2.5", q.Now())
+	}
+	q.Drain()
+	if len(got) != 4 {
+		t.Fatalf("fired %v after drain", got)
+	}
+}
+
+func TestScheduleDuringDispatch(t *testing.T) {
+	var q Queue
+	var got []string
+	q.Schedule(1.0, func() {
+		got = append(got, "first")
+		q.Schedule(2.0, func() { got = append(got, "nested") })
+	})
+	q.Drain()
+	if len(got) != 2 || got[1] != "nested" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(5.0, func() {})
+	q.Drain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	q.Schedule(1.0, func() {})
+}
+
+func TestPeekAndStepEmpty(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue")
+	}
+	if _, ok := q.Step(); ok {
+		t.Fatal("Step on empty queue")
+	}
+}
+
+func TestLen(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatal("empty queue Len != 0")
+	}
+	e1 := q.Schedule(1, func() {})
+	q.Schedule(2, func() {})
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Cancel(e1)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after cancel, want 1", q.Len())
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bwshare/internal/core"
+	"bwshare/internal/graph"
+	"bwshare/internal/measure"
+	"bwshare/internal/model"
+	"bwshare/internal/netsim/gige"
+	"bwshare/internal/netsim/myrinet"
+	"bwshare/internal/predict"
+	"bwshare/internal/report"
+	"bwshare/internal/schemes"
+	"bwshare/internal/stats"
+)
+
+// A1Result quantifies static vs progressive penalty evaluation (the
+// design choice the paper's simulator makes implicitly; DESIGN.md
+// section 3).
+type A1Result struct {
+	Scheme      string
+	Model       string
+	Static      []float64 // per-comm times, static formulas
+	Progressive []float64 // per-comm times, re-evaluated at completions
+	MaxGapPct   float64   // largest |static-progressive|/progressive
+}
+
+// AblationStaticVsProgressive runs EXP-A1 over the registry schemes.
+func AblationStaticVsProgressive() []A1Result {
+	models := []core.Model{model.NewGigE(), model.NewMyrinet()}
+	var out []A1Result
+	for _, name := range []string{"fig4", "mk1", "mk2", "s5"} {
+		g, ok := schemes.Named(name)
+		if !ok {
+			panic("experiments: unknown scheme " + name)
+		}
+		for _, m := range models {
+			st := predict.StaticTimes(g, m, 1e8)
+			pr := predict.Times(g, m, 1e8)
+			gap := 0.0
+			for i := range st {
+				d := (st[i] - pr[i]) / pr[i] * 100
+				if d < 0 {
+					d = -d
+				}
+				if d > gap {
+					gap = d
+				}
+			}
+			out = append(out, A1Result{
+				Scheme: name, Model: m.Name(),
+				Static: st, Progressive: pr, MaxGapPct: gap,
+			})
+		}
+	}
+	return out
+}
+
+// A1Table renders EXP-A1.
+func A1Table(rs []A1Result) string {
+	t := report.Table{
+		Title:  "EXP-A1 - static vs progressive evaluation (max per-comm gap)",
+		Header: []string{"scheme", "model", "max gap [%]"},
+	}
+	for _, r := range rs {
+		t.AddRow(r.Scheme, r.Model, fmt.Sprintf("%.1f", r.MaxGapPct))
+	}
+	return t.String()
+}
+
+// A2Result compares the Myrinet model's conflict rules and per-source
+// minimum on the Figure 5 graph and on the substrate's Figure 2 column.
+type A2Result struct {
+	Scheme string
+	// Fig6Exact reports whether the variant reproduces the paper's
+	// Figure 6 penalties exactly.
+	Variant   string
+	Penalties []float64
+	Fig6Exact bool
+}
+
+// AblationConflictRule runs EXP-A2 on the Figure 5 graph.
+func AblationConflictRule() []A2Result {
+	g := schemes.Fig5()
+	variants := []struct {
+		name string
+		m    model.Myrinet
+	}{
+		{"same-role + per-source-min (paper)", model.Myrinet{Rule: graph.SameRole, PerSourceMin: true}},
+		{"same-role, no per-source-min", model.Myrinet{Rule: graph.SameRole, PerSourceMin: false}},
+		{"any-endpoint + per-source-min", model.Myrinet{Rule: graph.AnyEndpoint, PerSourceMin: true}},
+	}
+	want := PaperFig6.Penalties
+	var out []A2Result
+	for _, v := range variants {
+		p := v.m.Penalties(g)
+		exact := len(p) == len(want)
+		for i := range want {
+			if exact && !close(p[i], want[i]) {
+				exact = false
+			}
+		}
+		out = append(out, A2Result{Scheme: "fig5", Variant: v.name, Penalties: p, Fig6Exact: exact})
+	}
+	return out
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// A2Table renders EXP-A2.
+func A2Table(rs []A2Result) string {
+	t := report.Table{
+		Title:  "EXP-A2 - Myrinet model variants on the Figure 5 graph",
+		Header: []string{"variant", "penalties (a..f)", "matches Figure 6"},
+	}
+	for _, r := range rs {
+		parts := make([]string, len(r.Penalties))
+		for i, p := range r.Penalties {
+			parts[i] = fmt.Sprintf("%.2f", p)
+		}
+		t.AddRow(r.Variant, strings.Join(parts, " "), fmt.Sprint(r.Fig6Exact))
+	}
+	return t.String()
+}
+
+// A3Result compares the paper's models against the baselines on the
+// synthetic graphs, using progressive evaluation against the matching
+// substrate.
+type A3Result struct {
+	Scheme  string
+	Network string
+	Eabs    map[string]float64 // model name -> Eabs vs substrate
+}
+
+// AblationBaselines runs EXP-A3: paper models vs Kim&Lee vs LogGP-linear
+// on MK1, MK2 and S5 against both substrates.
+func AblationBaselines() []A3Result {
+	type netCase struct {
+		name   string
+		engine core.Engine
+		models []core.Model
+	}
+	cases := []netCase{
+		{"myrinet", myrinet.New(myrinet.DefaultConfig()),
+			[]core.Model{model.NewMyrinet(), model.KimLee{}, model.Linear{}}},
+		{"gige", gige.New(gige.DefaultConfig()),
+			[]core.Model{model.NewGigE(), model.KimLee{}, model.Linear{}}},
+	}
+	var out []A3Result
+	for _, name := range []string{"mk1", "mk2", "s5"} {
+		g, _ := schemes.Named(name)
+		for _, nc := range cases {
+			meas := measure.Run(nc.engine, g)
+			r := A3Result{Scheme: name, Network: nc.name, Eabs: map[string]float64{}}
+			for _, m := range nc.models {
+				pred := predict.Times(g, m, meas.RefRate)
+				r.Eabs[m.Name()] = stats.AbsErr(pred, meas.Times)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// A3Table renders EXP-A3.
+func A3Table(rs []A3Result) string {
+	t := report.Table{
+		Title:  "EXP-A3 - model accuracy vs baselines, Eabs [%] against the substrates",
+		Header: []string{"scheme", "network", "paper model", "kimlee", "linear"},
+	}
+	for _, r := range rs {
+		paper := r.Eabs["myrinet"]
+		if r.Network == "gige" {
+			paper = r.Eabs["gige"]
+		}
+		t.AddRow(r.Scheme, r.Network,
+			fmt.Sprintf("%.1f", paper),
+			fmt.Sprintf("%.1f", r.Eabs["kimlee"]),
+			fmt.Sprintf("%.1f", r.Eabs["linear"]))
+	}
+	return t.String()
+}

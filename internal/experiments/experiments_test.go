@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFig2ShapeHolds: for every scheme and network, the substrate
+// reproduces the paper's penalty ordering: communications the paper ranks
+// strictly higher (by >15%) must also rank higher in simulation. One
+// documented exception (DESIGN.md): 802.3x pauses in our GigE substrate
+// stall the whole sender NIC, so the S5/S6 GigE column cannot split a
+// from b and c the way the paper's hardware does; there the comparison is
+// on the conflict groups {a,b,c} / {d,e} / {f} instead of per pair.
+func TestFig2ShapeHolds(t *testing.T) {
+	groupMean := func(v []float64, idx ...int) float64 {
+		s := 0.0
+		for _, i := range idx {
+			s += v[i]
+		}
+		return s / float64(len(idx))
+	}
+	for _, r := range Fig2() {
+		for net := 0; net < 3; net++ {
+			sim, paper := r.Simulated[net], r.Paper[net]
+			if net == 0 && r.Scheme >= 5 {
+				star := groupMean(sim, 0, 1, 2)
+				mid := groupMean(sim, 3, 4)
+				pStar := groupMean(paper, 0, 1, 2)
+				pMid := groupMean(paper, 3, 4)
+				if (pStar > pMid) != (star > mid) {
+					t.Errorf("S%d GigE: group ordering flipped: sim %.2f vs %.2f, paper %.2f vs %.2f",
+						r.Scheme, star, mid, pStar, pMid)
+				}
+				if r.Scheme == 6 && !(sim[5] < mid) {
+					t.Errorf("S6 GigE: f (%.2f) should stay the least penalized", sim[5])
+				}
+				continue
+			}
+			for i := range paper {
+				for j := range paper {
+					if paper[i] > paper[j]*1.15 && sim[i] < sim[j]*0.97 {
+						t.Errorf("S%d net %d: paper has %s(%.2f) > %s(%.2f) but sim %.2f < %.2f",
+							r.Scheme, net, r.Labels[i], paper[i], r.Labels[j], paper[j], sim[i], sim[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFig2SingleCommBaseline: scheme S1 has penalty 1 everywhere.
+func TestFig2SingleCommBaseline(t *testing.T) {
+	r := Fig2()[0]
+	for net := 0; net < 3; net++ {
+		if math.Abs(r.Simulated[net][0]-1) > 1e-6 {
+			t.Errorf("S1 net %d penalty = %g, want 1", net, r.Simulated[net][0])
+		}
+	}
+}
+
+// TestFig4PredictionAccuracy: our model predictions track our substrate
+// within 20% Eabs (the residual is the gamma asymmetry the model carries
+// from real hardware but the symmetric max-min substrate lacks; see
+// EXPERIMENTS.md), and the predicted column reproduces the paper's
+// printed Tp pattern exactly when normalized by Tref.
+func TestFig4PredictionAccuracy(t *testing.T) {
+	r := Fig4()
+	if r.Eabs > 20 {
+		t.Errorf("Fig4 Eabs = %.1f%%, want <= 20%%", r.Eabs)
+	}
+	// Shape: c is the slowest in both paper columns and in ours.
+	maxIdx := 0
+	for i := range r.Predicted {
+		if r.Predicted[i] > r.Predicted[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if r.Labels[maxIdx] != "c" {
+		t.Errorf("slowest predicted comm = %s, paper says c", r.Labels[maxIdx])
+	}
+	// Relative prediction pattern vs paper's Tp column: compare ratios
+	// to communication a.
+	for i := range r.Predicted {
+		ours := r.Predicted[i] / r.Predicted[0]
+		paper := r.PaperTp[i] / r.PaperTp[0]
+		if math.Abs(ours-paper) > 0.06*paper {
+			t.Errorf("Tp[%s]/Tp[a] = %.3f, paper %.3f", r.Labels[i], ours, paper)
+		}
+	}
+}
+
+// TestFig5FiveSets: the reproduced Figure 5 has exactly 5 state sets.
+func TestFig5FiveSets(t *testing.T) {
+	r := Fig5()
+	if len(r.Sets) != 5 {
+		t.Fatalf("state sets = %d, want 5", len(r.Sets))
+	}
+	txt := Fig5Text(r)
+	if !strings.Contains(txt, "set 5") {
+		t.Errorf("rendering lost sets:\n%s", txt)
+	}
+}
+
+// TestFig6ExactReproduction: all 18 numbers of Figure 6.
+func TestFig6ExactReproduction(t *testing.T) {
+	r := Fig6()
+	if r.NSets != 5 {
+		t.Fatalf("nsets = %d, want 5", r.NSets)
+	}
+	for i := range PaperFig6.Sum {
+		if r.Sum[i] != PaperFig6.Sum[i] {
+			t.Errorf("Sum[%s] = %d, paper %d", r.Labels[i], r.Sum[i], PaperFig6.Sum[i])
+		}
+		if r.Min[i] != PaperFig6.Min[i] {
+			t.Errorf("Min[%s] = %d, paper %d", r.Labels[i], r.Min[i], PaperFig6.Min[i])
+		}
+		if math.Abs(r.Penalties[i]-PaperFig6.Penalties[i]) > 1e-12 {
+			t.Errorf("penalty[%s] = %g, paper %g", r.Labels[i], r.Penalties[i], PaperFig6.Penalties[i])
+		}
+	}
+}
+
+// TestFig7Accuracy: the Myrinet model tracks the Myrinet substrate on
+// both synthetic graphs with Eabs below 20% (paper: 2.6% and 9.5% against
+// real hardware), and the complete graph is harder than the tree, like in
+// the paper.
+func TestFig7Accuracy(t *testing.T) {
+	rs := Fig7()
+	if len(rs) != 2 {
+		t.Fatalf("want MK1+MK2, got %d results", len(rs))
+	}
+	for _, r := range rs {
+		if r.Eabs > 20 {
+			t.Errorf("%s: Eabs = %.1f%%, want <= 20%%", r.Name, r.Eabs)
+		}
+	}
+}
+
+// TestAblationStaticVsProgressive: the gap must be visible (>5%) on at
+// least one scheme - that is the evidence the progressive simulator
+// matters - and zero gap for the first finisher everywhere is already
+// covered in predict tests.
+func TestAblationStaticVsProgressive(t *testing.T) {
+	rs := AblationStaticVsProgressive()
+	any := false
+	for _, r := range rs {
+		if r.MaxGapPct > 5 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("no scheme shows a static/progressive gap > 5%; ablation lost its point")
+	}
+}
+
+// TestAblationConflictRule: only the paper's variant reproduces Figure 6.
+func TestAblationConflictRule(t *testing.T) {
+	rs := AblationConflictRule()
+	if !rs[0].Fig6Exact {
+		t.Error("paper variant must reproduce Figure 6 exactly")
+	}
+	for _, r := range rs[1:] {
+		if r.Fig6Exact {
+			t.Errorf("variant %q unexpectedly also matches Figure 6", r.Variant)
+		}
+	}
+}
+
+// TestAblationBaselines: on every conflict-heavy scheme, the paper's
+// model must beat the contention-blind linear baseline by a wide margin,
+// and at least match Kim&Lee overall.
+func TestAblationBaselines(t *testing.T) {
+	rs := AblationBaselines()
+	for _, r := range rs {
+		paper := r.Eabs["myrinet"]
+		if r.Network == "gige" {
+			paper = r.Eabs["gige"]
+		}
+		if lin := r.Eabs["linear"]; paper >= lin {
+			t.Errorf("%s/%s: paper model Eabs %.1f%% not better than linear %.1f%%",
+				r.Scheme, r.Network, paper, lin)
+		}
+	}
+	// Aggregate comparison vs Kim&Lee.
+	var paperSum, klSum float64
+	for _, r := range rs {
+		paper := r.Eabs["myrinet"]
+		if r.Network == "gige" {
+			paper = r.Eabs["gige"]
+		}
+		paperSum += paper
+		klSum += r.Eabs["kimlee"]
+	}
+	if paperSum > klSum {
+		t.Errorf("paper models aggregate Eabs %.1f worse than Kim&Lee %.1f", paperSum, klSum)
+	}
+}
+
+// TestRenderersProduceOutput: every table renderer emits non-empty,
+// header-bearing text (smoke coverage for the cmd tools).
+func TestRenderersProduceOutput(t *testing.T) {
+	if s := Fig2Table(Fig2()); !strings.Contains(s, "GigE sim") {
+		t.Error("Fig2Table missing header")
+	}
+	if s := Fig4Table(Fig4()); !strings.Contains(s, "paper Tp") {
+		t.Error("Fig4Table missing header")
+	}
+	if s := Fig6Table(Fig6()); !strings.Contains(s, "penalty") {
+		t.Error("Fig6Table missing rows")
+	}
+	for _, r := range Fig7() {
+		if s := Fig7Table(r); !strings.Contains(s, "Erel") {
+			t.Error("Fig7Table missing header")
+		}
+	}
+	if s := A1Table(AblationStaticVsProgressive()); !strings.Contains(s, "max gap") {
+		t.Error("A1Table missing header")
+	}
+	if s := A2Table(AblationConflictRule()); !strings.Contains(s, "Figure 6") {
+		t.Error("A2Table missing header")
+	}
+	if s := A3Table(AblationBaselines()); !strings.Contains(s, "linear") {
+		t.Error("A3Table missing header")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastHPL keeps test time low while preserving the trace structure.
+func fastHPL() HPLConfig {
+	return HPLConfig{N: 4800, Tasks: 16, Nodes: 8, Seed: 42}
+}
+
+// TestFig8Pipeline: the GigE-on-HPL experiment runs for all three
+// placements and the model tracks the substrate within 20% mean error
+// per task (the paper reports "satisfactory" predictions; our substrate
+// lacks the memory interference that dominated their residuals).
+func TestFig8Pipeline(t *testing.T) {
+	r, err := Fig8(fastHPL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schedulings) != 3 {
+		t.Fatalf("placements = %d, want 3", len(r.Schedulings))
+	}
+	for _, s := range r.Schedulings {
+		if len(s.Sm) != 16 {
+			t.Fatalf("%s: %d tasks", s.Strategy, len(s.Sm))
+		}
+		if s.MeanEabs > 20 {
+			t.Errorf("%s: mean Eabs = %.1f%%, want <= 20%%", s.Strategy, s.MeanEabs)
+		}
+		for rank, sm := range s.Sm {
+			if sm <= 0 {
+				t.Errorf("%s: task %d has zero measured comm time", s.Strategy, rank)
+			}
+		}
+	}
+}
+
+// TestFig9Pipeline: same for Myrinet.
+func TestFig9Pipeline(t *testing.T) {
+	r, err := Fig9(fastHPL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Schedulings {
+		if s.MeanEabs > 20 {
+			t.Errorf("%s: mean Eabs = %.1f%%, want <= 20%%", s.Strategy, s.MeanEabs)
+		}
+	}
+}
+
+// TestHPLPlacementEffect: RRP turns half the ring hops into local
+// copies, so its per-task network communication time must be clearly
+// below RRN's (the placement effect of Section VI-D).
+func TestHPLPlacementEffect(t *testing.T) {
+	r, err := Fig9(fastHPL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrategy := map[string]HPLSchedulingResult{}
+	for _, s := range r.Schedulings {
+		byStrategy[s.Strategy] = s
+	}
+	mean := func(xs []float64) float64 {
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t / float64(len(xs))
+	}
+	rrn, rrp := mean(byStrategy["rrn"].Sm), mean(byStrategy["rrp"].Sm)
+	if !(rrp < rrn) {
+		t.Errorf("RRP mean comm %.3f should be below RRN %.3f", rrp, rrn)
+	}
+}
+
+// TestHPLTextRendering: the Figures 8-9 artifact includes bars and the
+// per-task table.
+func TestHPLTextRendering(t *testing.T) {
+	r, err := Fig9(fastHPL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := HPLText(r, "Figure 9")
+	for _, want := range []string{"Figure 9", "measured", "predicted", "task", "Eabs"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+// TestTraceForBench: the helper produces a valid trace of the right
+// size.
+func TestTraceForBench(t *testing.T) {
+	tr, err := traceForBench(fastHPL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTasks() != 16 {
+		t.Fatalf("tasks = %d", tr.NumTasks())
+	}
+}

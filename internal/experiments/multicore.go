@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bwshare/internal/core"
+	"bwshare/internal/measure"
+	"bwshare/internal/model"
+	"bwshare/internal/predict"
+	"bwshare/internal/report"
+	"bwshare/internal/schemes"
+	"bwshare/internal/stats"
+)
+
+// MulticoreResult is one (cores, network) cell of EXP-X1: the paper's
+// announced future work of extending the models to nodes with 8 and 16
+// cores. With c cores per node, up to c tasks share one NIC, so the
+// elementary outgoing conflict grows to degree c; the experiment sweeps
+// that degree and compares substrate penalties against the models.
+type MulticoreResult struct {
+	Cores   int
+	Network string
+	Model   string
+	// MeanPenalty is the substrate's mean penalty over the c outgoing
+	// communications; Predicted the model's (static - the flows are
+	// symmetric so progressive equals static here).
+	MeanPenalty float64
+	Predicted   float64
+	ErrPct      float64
+}
+
+// Multicore sweeps outgoing conflict degree over per-node core counts
+// {2, 4, 8, 16} on the three substrates.
+func Multicore() []MulticoreResult {
+	type pair struct {
+		eng core.Engine
+		mod core.Model
+	}
+	pairs := []pair{}
+	for _, e := range Engines() {
+		switch e.Name() {
+		case "gige":
+			pairs = append(pairs, pair{e, model.NewGigE()})
+		case "myrinet":
+			pairs = append(pairs, pair{e, model.NewMyrinet()})
+		case "infiniband":
+			pairs = append(pairs, pair{e, model.NewInfiniBand()})
+		}
+	}
+	var out []MulticoreResult
+	for _, cores := range []int{2, 4, 8, 16} {
+		g := schemes.Star(cores, schemes.Fig2Volume)
+		for _, p := range pairs {
+			meas := measure.Run(p.eng, g)
+			pred := predict.Penalties(g, p.mod, meas.RefRate)
+			out = append(out, MulticoreResult{
+				Cores:       cores,
+				Network:     p.eng.Name(),
+				Model:       p.mod.Name(),
+				MeanPenalty: stats.Mean(meas.Penalties),
+				Predicted:   stats.Mean(pred),
+				ErrPct:      stats.RelErr(stats.Mean(pred), stats.Mean(meas.Penalties)),
+			})
+		}
+	}
+	return out
+}
+
+// MulticoreTable renders EXP-X1.
+func MulticoreTable(rs []MulticoreResult) string {
+	t := report.Table{
+		Title:  "EXP-X1 - many-core nodes (paper future work): outgoing conflict of degree = cores",
+		Header: []string{"cores/node", "network", "substrate penalty", "model penalty", "Erel [%]"},
+	}
+	for _, r := range rs {
+		t.AddRow(fmt.Sprint(r.Cores), r.Network,
+			fmt.Sprintf("%.3f", r.MeanPenalty),
+			fmt.Sprintf("%.3f", r.Predicted),
+			fmt.Sprintf("%+.1f", r.ErrPct))
+	}
+	return t.String()
+}

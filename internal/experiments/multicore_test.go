@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestMulticoreSweep: EXP-X1 covers 4 core counts x 3 networks, model
+// errors stay within 20% everywhere, and penalties grow monotonically
+// with the conflict degree on every network (the models' central scaling
+// claim extended to 8/16-core nodes).
+func TestMulticoreSweep(t *testing.T) {
+	rs := Multicore()
+	if len(rs) != 12 {
+		t.Fatalf("results = %d, want 12", len(rs))
+	}
+	last := map[string]float64{}
+	for _, r := range rs {
+		if math.Abs(r.ErrPct) > 20 {
+			t.Errorf("cores=%d %s: model error %.1f%% exceeds 20%%", r.Cores, r.Network, r.ErrPct)
+		}
+		if prev, ok := last[r.Network]; ok && r.MeanPenalty <= prev {
+			t.Errorf("%s: penalty did not grow with cores: %.2f after %.2f", r.Network, r.MeanPenalty, prev)
+		}
+		last[r.Network] = r.MeanPenalty
+	}
+}
+
+// TestMulticoreGigELaw: the GigE substrate keeps the k*beta law at every
+// degree, so the model extension to 16 cores is exact by construction.
+func TestMulticoreGigELaw(t *testing.T) {
+	for _, r := range Multicore() {
+		if r.Network != "gige" {
+			continue
+		}
+		want := float64(r.Cores) * 0.75
+		if math.Abs(r.MeanPenalty-want) > 1e-6 {
+			t.Errorf("cores=%d: substrate penalty %.4f, want k*beta = %.4f", r.Cores, r.MeanPenalty, want)
+		}
+	}
+}
+
+func TestMulticoreTable(t *testing.T) {
+	s := MulticoreTable(Multicore())
+	if !strings.Contains(s, "16") || !strings.Contains(s, "EXP-X1") {
+		t.Fatalf("table incomplete:\n%s", s)
+	}
+}

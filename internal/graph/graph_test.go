@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func tri(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder().
+		Add("a", 0, 1, 100).
+		Add("b", 0, 2, 100).
+		Add("c", 3, 2, 100).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := tri(t)
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	c, ok := g.ByLabel("b")
+	if !ok || c.Src != 0 || c.Dst != 2 {
+		t.Fatalf("ByLabel(b) = %+v, %v", c, ok)
+	}
+	if _, ok := g.ByLabel("zzz"); ok {
+		t.Fatal("ByLabel(zzz) should miss")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]*Builder{
+		"empty label": NewBuilder().Add("", 0, 1, 1),
+		"duplicate":   NewBuilder().Add("a", 0, 1, 1).Add("a", 1, 2, 1),
+		"self loop":   NewBuilder().Add("a", 3, 3, 1),
+		"negative":    NewBuilder().Add("a", -1, 0, 1),
+		"volume":      NewBuilder().Add("a", 0, 1, 0),
+	}
+	for name, b := range cases {
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBuilderErrorSticks(t *testing.T) {
+	b := NewBuilder().Add("a", 0, 0, 1).Add("b", 0, 1, 1)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "self-loop") {
+		t.Fatalf("first error should stick, got %v", err)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := tri(t)
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(2); got != 2 {
+		t.Errorf("InDegree(2) = %d, want 2", got)
+	}
+	if got := g.OutDegree(9); got != 0 {
+		t.Errorf("OutDegree(9) = %d, want 0", got)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	g := tri(t)
+	nodes := g.Nodes()
+	want := []NodeID{0, 1, 2, 3}
+	if len(nodes) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestSourcesDestinations(t *testing.T) {
+	g := tri(t)
+	if got := g.Sources(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Sources(0) = %v, want [0 1]", got)
+	}
+	if got := g.Destinations(2); len(got) != 2 {
+		t.Errorf("Destinations(2) = %v, want 2 entries", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := tri(t)
+	sub, orig := g.Subgraph([]CommID{2, 0})
+	if sub.Len() != 2 {
+		t.Fatalf("sub.Len = %d, want 2", sub.Len())
+	}
+	if sub.Comm(0).Label != "c" || sub.Comm(1).Label != "a" {
+		t.Fatalf("subgraph order wrong: %v", sub.Comms())
+	}
+	if orig[0] != 2 || orig[1] != 0 {
+		t.Fatalf("orig mapping = %v, want [2 0]", orig)
+	}
+}
+
+func TestConflictAt(t *testing.T) {
+	g := tri(t)
+	a, _ := g.ByLabel("a")
+	b, _ := g.ByLabel("b")
+	c, _ := g.ByLabel("c")
+	if k := g.ConflictAt(a.ID, 0); k != OutgoingConflict {
+		t.Errorf("a at node 0: %v, want outgoing", k)
+	}
+	if k := g.ConflictAt(a.ID, 1); k != NoConflict {
+		t.Errorf("a at node 1: %v, want none", k)
+	}
+	if k := g.ConflictAt(b.ID, 2); k != IncomingConflict {
+		t.Errorf("b at node 2: %v, want incoming", k)
+	}
+	if k := g.ConflictAt(c.ID, 2); k != IncomingConflict {
+		t.Errorf("c at node 2: %v, want incoming", k)
+	}
+}
+
+func TestConflictAtMixed(t *testing.T) {
+	// a: 0->1, b: 1->2 - at node 1, a incomes while b outgoes.
+	g := NewBuilder().Add("a", 0, 1, 1).Add("b", 1, 2, 1).MustBuild()
+	a, _ := g.ByLabel("a")
+	b, _ := g.ByLabel("b")
+	if k := g.ConflictAt(a.ID, 1); k != MixedConflict {
+		t.Errorf("a at node 1: %v, want mixed", k)
+	}
+	if k := g.ConflictAt(b.ID, 1); k != MixedConflict {
+		t.Errorf("b at node 1: %v, want mixed", k)
+	}
+}
+
+func TestConflictAdjRules(t *testing.T) {
+	// a: 0->1, b: 1->2 share node 1 in mixed roles.
+	g := NewBuilder().Add("a", 0, 1, 1).Add("b", 1, 2, 1).MustBuild()
+	strict := g.ConflictAdj(SameRole)
+	if strict[0][1] {
+		t.Error("same-role rule: mixed sharing must not conflict")
+	}
+	loose := g.ConflictAdj(AnyEndpoint)
+	if !loose[0][1] || !loose[1][0] {
+		t.Error("any-endpoint rule: sharing node 1 must conflict")
+	}
+}
+
+func TestConflictAdjSymmetric(t *testing.T) {
+	g := tri(t)
+	for _, rule := range []ConflictRule{SameRole, AnyEndpoint} {
+		adj := g.ConflictAdj(rule)
+		for i := range adj {
+			if adj[i][i] {
+				t.Errorf("rule %v: self conflict at %d", rule, i)
+			}
+			for j := range adj {
+				if adj[i][j] != adj[j][i] {
+					t.Errorf("rule %v: asymmetry at (%d,%d)", rule, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDOTAndString(t *testing.T) {
+	g := tri(t)
+	dot := g.DOT("test")
+	for _, want := range []string{"digraph test", `n0 -> n1 [label="a"]`, `n3 -> n2 [label="c"]`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if s := g.String(); s != "a:0>1 b:0>2 c:3>2" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestKindAndRuleStrings(t *testing.T) {
+	if NoConflict.String() != "none" || MixedConflict.String() != "mixed" {
+		t.Error("ConflictKind strings wrong")
+	}
+	if SameRole.String() != "same-role" || AnyEndpoint.String() != "any-endpoint" {
+		t.Error("ConflictRule strings wrong")
+	}
+	if ConflictKind(99).String() == "" || ConflictRule(99).String() == "" {
+		t.Error("unknown values must still print")
+	}
+}

@@ -1,0 +1,117 @@
+package hpl
+
+import (
+	"testing"
+
+	"bwshare/internal/trace"
+)
+
+func TestGenerateValid(t *testing.T) {
+	tr, err := Generate(Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTasks() != 8 {
+		t.Fatalf("tasks = %d, want 8", tr.NumTasks())
+	}
+}
+
+func TestIterationCount(t *testing.T) {
+	c := Default(4)
+	c.N, c.NB = 1000, 120
+	if got := c.Iterations(); got != 9 {
+		t.Fatalf("iterations = %d, want ceil(1000/120) = 9", got)
+	}
+}
+
+func TestPanelBytesShrink(t *testing.T) {
+	c := Default(4)
+	prev := c.PanelBytes(0)
+	if prev != float64(c.N)*float64(c.NB)*8 {
+		t.Fatalf("first panel = %g, want %g", prev, float64(c.N)*float64(c.NB)*8)
+	}
+	for k := 1; k < c.Iterations(); k++ {
+		b := c.PanelBytes(k)
+		if b >= prev {
+			t.Fatalf("panel bytes must shrink: iter %d: %g >= %g", k, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestRingStructure: iteration k has exactly P-1 sends forming the ring
+// from the owner, and every non-owner receives exactly once.
+func TestRingStructure(t *testing.T) {
+	c := Default(4)
+	c.N, c.NB = 960, 240 // 4 iterations
+	tr := MustGenerate(c)
+	sends := make(map[int]map[int]int) // tag -> from -> to
+	recvs := make(map[int]map[int]int) // tag -> by -> from
+	for rank, task := range tr.Tasks {
+		for _, ev := range task {
+			switch ev.Kind {
+			case trace.Send:
+				if sends[ev.Tag] == nil {
+					sends[ev.Tag] = map[int]int{}
+				}
+				sends[ev.Tag][rank] = ev.Peer
+			case trace.Recv:
+				if recvs[ev.Tag] == nil {
+					recvs[ev.Tag] = map[int]int{}
+				}
+				recvs[ev.Tag][rank] = ev.Peer
+			}
+		}
+	}
+	for k := 0; k < c.Iterations(); k++ {
+		if got := len(sends[k]); got != c.P-1 {
+			t.Errorf("iter %d: %d sends, want %d", k, got, c.P-1)
+		}
+		if got := len(recvs[k]); got != c.P-1 {
+			t.Errorf("iter %d: %d recvs, want %d", k, got, c.P-1)
+		}
+		owner := k % c.P
+		// The owner sends but never receives its own panel.
+		if _, ok := recvs[k][owner]; ok {
+			t.Errorf("iter %d: owner %d receives its own panel", k, owner)
+		}
+		// The ring is consistent: every send's destination receives.
+		for from, to := range sends[k] {
+			if src, ok := recvs[k][to]; !ok || src != from {
+				t.Errorf("iter %d: send %d->%d has no matching recv", k, from, to)
+			}
+		}
+	}
+}
+
+func TestVolumeAccounting(t *testing.T) {
+	c := Default(4)
+	c.N, c.NB = 960, 240
+	tr := MustGenerate(c)
+	s := tr.Summary()
+	var want float64
+	for k := 0; k < c.Iterations(); k++ {
+		want += float64(c.P-1) * c.PanelBytes(k)
+	}
+	if s.TotalBytes != want {
+		t.Fatalf("total bytes = %g, want %g", s.TotalBytes, want)
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{N: 0, NB: 10, P: 2, FlopsPerSec: 1, ElemBytes: 8},
+		{N: 100, NB: 0, P: 2, FlopsPerSec: 1, ElemBytes: 8},
+		{N: 100, NB: 10, P: 1, FlopsPerSec: 1, ElemBytes: 8},
+		{N: 100, NB: 200, P: 2, FlopsPerSec: 1, ElemBytes: 8},
+		{N: 100, NB: 10, P: 2, FlopsPerSec: 0, ElemBytes: 8},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}

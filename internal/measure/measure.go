@@ -1,0 +1,84 @@
+// Package measure reimplements the paper's measurement software
+// (Section IV-B) against simulated substrates: it runs a communication
+// scheme with all transfers starting simultaneously (the benchmark's
+// barrier) and reports per-communication times and penalties
+// Pi = Ti / Tref, where Tref is the time of the same volume on an idle
+// network.
+package measure
+
+import (
+	"fmt"
+
+	"bwshare/internal/core"
+	"bwshare/internal/graph"
+)
+
+// Result holds the outcome of measuring one scheme on one engine.
+type Result struct {
+	Engine string
+	// Times[i] is the duration in seconds of communication i.
+	Times []float64
+	// Penalties[i] = Times[i] / (Volume_i / RefRate).
+	Penalties []float64
+	// RefRate is the single-flow reference rate measured on the engine
+	// (bytes/second), from which Tref of any volume follows.
+	RefRate float64
+}
+
+// reset returns the engine to time zero, which every bwshare engine
+// supports; a foreign engine that does not is a programming error.
+func reset(e core.Engine) {
+	r, ok := e.(core.Resetter)
+	if !ok {
+		panic(fmt.Sprintf("measure: engine %q is not resettable", e.Name()))
+	}
+	r.Reset()
+}
+
+// RefRate measures the single-flow reference rate of the engine
+// empirically (rather than trusting e.RefRate), exactly as the paper
+// measures Tref with a lone 20 MB send: it transfers volume bytes
+// between two otherwise idle nodes and divides. The engine is reset
+// before and after.
+func RefRate(e core.Engine, volume float64) float64 {
+	reset(e)
+	e.StartFlow(0, 1, volume, 0)
+	done := core.Drain(e)
+	if len(done) != 1 {
+		panic("measure: reference flow did not complete")
+	}
+	reset(e)
+	return volume / done[0].Time
+}
+
+// Run measures the scheme g on engine e: every communication starts at
+// time zero, the engine runs dry, and per-communication times and
+// penalties are reported. The engine is reset before and after.
+func Run(e core.Engine, g *graph.Graph) Result {
+	ref := RefRate(e, 20e6)
+	reset(e)
+	flowToComm := make(map[int]graph.CommID, g.Len())
+	for _, c := range g.Comms() {
+		id := e.StartFlow(c.Src, c.Dst, c.Volume, 0)
+		flowToComm[id] = c.ID
+	}
+	times := make([]float64, g.Len())
+	seen := 0
+	for _, done := range core.Drain(e) {
+		cid, ok := flowToComm[done.Flow]
+		if !ok {
+			panic("measure: engine reported an unknown flow")
+		}
+		times[cid] = done.Time
+		seen++
+	}
+	if seen != g.Len() {
+		panic(fmt.Sprintf("measure: %d of %d communications completed", seen, g.Len()))
+	}
+	reset(e)
+	pen := make([]float64, g.Len())
+	for _, c := range g.Comms() {
+		pen[c.ID] = times[c.ID] / (c.Volume / ref)
+	}
+	return Result{Engine: e.Name(), Times: times, Penalties: pen, RefRate: ref}
+}

@@ -1,0 +1,200 @@
+package mis
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// adjFromEdges builds an adjacency matrix.
+func adjFromEdges(n int, edges [][2]int) [][]bool {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	return adj
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if got := MaximalIndependentSets(nil); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	got := MaximalIndependentSets(adjFromEdges(1, nil))
+	if !reflect.DeepEqual(got, [][]int{{0}}) {
+		t.Fatalf("got %v, want [[0]]", got)
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	got := MaximalIndependentSets(adjFromEdges(4, nil))
+	if !reflect.DeepEqual(got, [][]int{{0, 1, 2, 3}}) {
+		t.Fatalf("got %v, want the full set", got)
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	got := MaximalIndependentSets(adjFromEdges(3, edges))
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestPath3(t *testing.T) {
+	// 0-1-2: MIS are {0,2} and {1}.
+	got := MaximalIndependentSets(adjFromEdges(3, [][2]int{{0, 1}, {1, 2}}))
+	want := [][]int{{0, 2}, {1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCycle5(t *testing.T) {
+	// C5 has exactly 5 maximal independent sets.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	got := MaximalIndependentSets(adjFromEdges(5, edges))
+	if len(got) != 5 {
+		t.Fatalf("C5: got %d sets (%v), want 5", len(got), got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	sets := [][]int{{0, 2}, {1}, {0, 1}}
+	got := Counts(sets, 3)
+	if !reflect.DeepEqual(got, []int{2, 2, 1}) {
+		t.Fatalf("Counts = %v", got)
+	}
+}
+
+func TestInSet(t *testing.T) {
+	s := []int{1, 4, 9}
+	for _, v := range s {
+		if !InSet(s, v) {
+			t.Errorf("InSet(%d) = false", v)
+		}
+	}
+	for _, v := range []int{0, 2, 10} {
+		if InSet(s, v) {
+			t.Errorf("InSet(%d) = true", v)
+		}
+	}
+}
+
+// TestPropertyIndependenceAndMaximality: on random graphs, every returned
+// set is independent and maximal, sets are distinct, and every vertex
+// appears in at least one set.
+func TestPropertyIndependenceAndMaximality(t *testing.T) {
+	prop := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(pRaw%90+5) / 100
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					adj[i][j], adj[j][i] = true, true
+				}
+			}
+		}
+		sets := MaximalIndependentSets(adj)
+		if len(sets) == 0 {
+			return false
+		}
+		seen := map[string]bool{}
+		coverage := make([]bool, n)
+		for _, s := range sets {
+			key := ""
+			for _, v := range s {
+				key += string(rune('A' + v))
+				coverage[v] = true
+			}
+			if seen[key] {
+				return false // duplicate set
+			}
+			seen[key] = true
+			// independence
+			for i, a := range s {
+				for _, b := range s[i+1:] {
+					if adj[a][b] {
+						return false
+					}
+				}
+			}
+			// maximality
+			for v := 0; v < n; v++ {
+				if InSet(s, v) {
+					continue
+				}
+				free := true
+				for _, a := range s {
+					if adj[v][a] {
+						free = false
+						break
+					}
+				}
+				if free {
+					return false
+				}
+			}
+		}
+		// every vertex is in some maximal independent set
+		for _, c := range coverage {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	edges := [][2]int{{0, 1}, {2, 3}, {1, 2}}
+	a := MaximalIndependentSets(adjFromEdges(4, edges))
+	b := MaximalIndependentSets(adjFromEdges(4, edges))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("enumeration order must be deterministic")
+	}
+	for i := 1; i < len(a); i++ {
+		if !lessIntSlice(a[i-1], a[i]) {
+			t.Fatalf("sets not in lexicographic order: %v", a)
+		}
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if b.empty() {
+		t.Fatal("bitset should not be empty")
+	}
+	got := b.elems()
+	if !reflect.DeepEqual(got, []int{0, 64, 129}) {
+		t.Fatalf("elems = %v", got)
+	}
+	b.clear(64)
+	if InSet(b.elems(), 64) {
+		t.Fatal("clear failed")
+	}
+	c := b.clone()
+	c.set(5)
+	if InSet(b.elems(), 5) {
+		t.Fatal("clone aliases original")
+	}
+}

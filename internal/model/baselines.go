@@ -1,0 +1,44 @@
+package model
+
+import (
+	"bwshare/internal/graph"
+)
+
+// KimLee is the prior-work baseline of Kim & Lee (2001), as summarized in
+// Section II: a piecewise-linear communication time multiplied by "the
+// maximum number of communications within the sharing conflict". In
+// penalty terms, p(ci) = max(delta_o(src), delta_i(dst)).
+type KimLee struct{}
+
+// Name implements core.Model.
+func (KimLee) Name() string { return "kimlee" }
+
+// Penalties implements core.Model.
+func (KimLee) Penalties(g *graph.Graph) []float64 {
+	out := make([]float64, g.Len())
+	for _, c := range g.Comms() {
+		p := g.OutDegree(c.Src)
+		if di := g.InDegree(c.Dst); di > p {
+			p = di
+		}
+		out[c.ID] = clampPenalty(float64(p))
+	}
+	return out
+}
+
+// Linear is the LogGP-style contention-blind baseline (Section II): each
+// communication is assumed independent, so its penalty is always 1. It
+// exists to quantify how much accuracy contention awareness buys.
+type Linear struct{}
+
+// Name implements core.Model.
+func (Linear) Name() string { return "linear" }
+
+// Penalties implements core.Model.
+func (Linear) Penalties(g *graph.Graph) []float64 {
+	out := make([]float64, g.Len())
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

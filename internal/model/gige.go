@@ -1,0 +1,117 @@
+package model
+
+import (
+	"bwshare/internal/graph"
+)
+
+// DegreeModel is the quantitative penalty model of Section V-A,
+// parameterized by (Beta, GammaOut, GammaIn). The paper instantiates it
+// for Gigabit Ethernet; the InfiniBand instance is our calibrated
+// extension of the same formulas.
+//
+// For a communication ci from vs to vd with out-degree do = delta_o(vs)
+// and in-degree di = delta_i(vd):
+//
+//	po = 1                                              if do == 1
+//	po = do*beta*(1 + gamma_o*(do - |Cm_o|))            if ci in Cm_o
+//	po = do*beta*(1 - gamma_o/|Cm_o|)                   otherwise
+//
+// where Cm_o is the subset of communications leaving vs whose destination
+// in-degree is maximal ("strongly slowed outgoing communications",
+// Definition 1). pi is symmetric with (di, gamma_i, Cm_i) where Cm_i is
+// the subset of communications entering vd whose source out-degree is
+// maximal. The penalty is p = max(po, pi).
+type DegreeModel struct {
+	ModelName string
+	// Beta is the resource-sharing penalty slope: k same-NIC flows cost
+	// about k*Beta each. Estimated from simple outgoing conflicts.
+	Beta float64
+	// GammaOut weights how much the strongly slowed outgoing
+	// communications are further penalized (and the others relieved).
+	GammaOut float64
+	// GammaIn is the incoming-side analogue of GammaOut.
+	GammaIn float64
+}
+
+// NewGigE returns the Gigabit Ethernet model with the paper's calibrated
+// parameters: beta = 0.75 (Figure 2), gamma_o = 0.115 and gamma_i = 0.036
+// (Figure 4).
+func NewGigE() DegreeModel {
+	return DegreeModel{ModelName: "gige", Beta: 0.75, GammaOut: 0.115, GammaIn: 0.036}
+}
+
+// NewInfiniBand returns the Infinihost III degree model, calibrated from
+// the Figure 2 InfiniBand column with the paper's own procedure (the
+// paper announces this model as future work; see DESIGN.md).
+func NewInfiniBand() DegreeModel {
+	return DegreeModel{ModelName: "infiniband", Beta: 0.8625, GammaOut: 0.207, GammaIn: 0.339}
+}
+
+// Name implements core.Model.
+func (m DegreeModel) Name() string {
+	if m.ModelName == "" {
+		return "degree"
+	}
+	return m.ModelName
+}
+
+// Penalties implements core.Model.
+func (m DegreeModel) Penalties(g *graph.Graph) []float64 {
+	out := make([]float64, g.Len())
+	for _, c := range g.Comms() {
+		po := m.outPenalty(g, c)
+		pi := m.inPenalty(g, c)
+		out[c.ID] = clampPenalty(maxf(po, pi))
+	}
+	return out
+}
+
+// outPenalty computes po for communication c.
+func (m DegreeModel) outPenalty(g *graph.Graph, c graph.Comm) float64 {
+	do := g.OutDegree(c.Src)
+	if do == 1 {
+		return 1
+	}
+	// Cm_o: communications from the same source whose destination
+	// in-degree is maximal.
+	maxDi, card := 0, 0
+	for _, id := range g.Sources(c.Src) {
+		di := g.InDegree(g.Comm(id).Dst)
+		switch {
+		case di > maxDi:
+			maxDi, card = di, 1
+		case di == maxDi:
+			card++
+		}
+	}
+	base := float64(do) * m.Beta
+	if g.InDegree(c.Dst) == maxDi {
+		return base * (1 + m.GammaOut*float64(do-card))
+	}
+	return base * (1 - m.GammaOut/float64(card))
+}
+
+// inPenalty computes pi for communication c.
+func (m DegreeModel) inPenalty(g *graph.Graph, c graph.Comm) float64 {
+	di := g.InDegree(c.Dst)
+	if di == 1 {
+		return 1
+	}
+	// Cm_i: communications to the same destination whose source
+	// out-degree is maximal.
+	maxDo, card := 0, 0
+	for _, id := range g.Destinations(c.Dst) {
+		do := g.OutDegree(g.Comm(id).Src)
+		switch {
+		case do > maxDo:
+			maxDo, card = do, 1
+		case do == maxDo:
+			card++
+		}
+	}
+	base := float64(di) * m.Beta
+	if g.OutDegree(c.Src) == maxDo {
+		return base * (1 + m.GammaIn*float64(di-card))
+	}
+	return base * (1 - m.GammaIn/float64(card))
+}

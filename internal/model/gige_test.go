@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"bwshare/internal/schemes"
+)
+
+// TestGigEStarPenalties: k-way outgoing conflicts cost k*beta each
+// (Figure 2: 1.5 for two flows, 2.25 for three).
+func TestGigEStarPenalties(t *testing.T) {
+	m := NewGigE()
+	for k := 2; k <= 6; k++ {
+		p := m.Penalties(schemes.Star(k, schemes.Fig2Volume))
+		want := float64(k) * m.Beta // all destinations tie, Cm_o = all
+		for i := range p {
+			if math.Abs(p[i]-want) > 1e-12 {
+				t.Errorf("star(%d): penalty[%d] = %g, want %g", k, i, p[i], want)
+			}
+		}
+	}
+}
+
+// TestGigEGatherPenalties is the incoming-side mirror image with gamma_i.
+func TestGigEGatherPenalties(t *testing.T) {
+	m := NewGigE()
+	for k := 2; k <= 6; k++ {
+		p := m.Penalties(schemes.Gather(k, schemes.Fig2Volume))
+		want := float64(k) * m.Beta
+		for i := range p {
+			if math.Abs(p[i]-want) > 1e-12 {
+				t.Errorf("gather(%d): penalty[%d] = %g, want %g", k, i, p[i], want)
+			}
+		}
+	}
+}
+
+// TestGigEFig4StaticPenalties pins the static penalties of the Figure 4
+// scheme under the paper's calibrated parameters. These are the values
+// derived in Section V-A:
+//
+//	a, b: not strongly slowed outgoing -> 3*beta*(1-gamma_o) = 1.99
+//	c:    in Cm_o and Cm_i            -> 3*beta*(1+2*gamma_o) = 2.7675
+//	d:    neither                     -> max side = 2*beta*(1-gamma_i) = 1.446
+//	e:    strongly slowed at source, relieved at destination -> 2.169
+//	f:    relieved incoming           -> 3*beta*(1-gamma_i) = 2.169
+func TestGigEFig4StaticPenalties(t *testing.T) {
+	g := schemes.Fig4()
+	m := NewGigE()
+	p := m.Penalties(g)
+	want := []float64{
+		3 * 0.75 * (1 - 0.115),   // a = 1.990875
+		3 * 0.75 * (1 - 0.115),   // b
+		3 * 0.75 * (1 + 2*0.115), // c = 2.7675
+		2 * 0.75 * (1 - 0.036),   // d = 1.446
+		3 * 0.75 * (1 - 0.036),   // e = 2.169 (pi side wins over po = 1.67)
+		3 * 0.75 * (1 - 0.036),   // f = 2.169
+	}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Errorf("penalty[%c] = %.6f, want %.6f", 'a'+i, p[i], want[i])
+		}
+	}
+}
+
+// TestGigESingleComm: an isolated communication has penalty 1.
+func TestGigESingleComm(t *testing.T) {
+	p := NewGigE().Penalties(schemes.Fig2(1))
+	if p[0] != 1 {
+		t.Fatalf("penalty = %g, want 1", p[0])
+	}
+}
+
+// TestGigEPenaltiesAtLeastOne is the basic model invariant over the
+// scheme registry.
+func TestGigEPenaltiesAtLeastOne(t *testing.T) {
+	m := NewGigE()
+	for _, name := range schemes.Names() {
+		g, _ := schemes.Named(name)
+		for i, p := range m.Penalties(g) {
+			if p < 1 {
+				t.Errorf("%s: penalty[%d] = %g < 1", name, i, p)
+			}
+		}
+	}
+}
+
+// TestInfiniBandModelOrdering: our InfiniBand extension should penalize a
+// 3-star more than a 2-star, and keep a lone incoming flow near 1.
+func TestInfiniBandModelOrdering(t *testing.T) {
+	m := NewInfiniBand()
+	p2 := m.Penalties(schemes.Star(2, schemes.Fig2Volume))
+	p3 := m.Penalties(schemes.Star(3, schemes.Fig2Volume))
+	if !(p3[0] > p2[0] && p2[0] > 1) {
+		t.Fatalf("want 1 < star2 (%g) < star3 (%g)", p2[0], p3[0])
+	}
+	if math.Abs(p2[0]-1.725) > 1e-9 {
+		t.Errorf("star2 penalty = %g, want 2*beta = 1.725 (Figure 2 InfiniBand column)", p2[0])
+	}
+}
+
+// TestKimLeeBaseline: penalty is the max sharing count.
+func TestKimLeeBaseline(t *testing.T) {
+	g := schemes.Fig2(4) // a,b,c from node 0; d:4->2 shares destination with b
+	p := KimLee{}.Penalties(g)
+	want := []float64{3, 3, 3, 2}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("penalty[%d] = %g, want %g", i, p[i], want[i])
+		}
+	}
+}
+
+// TestLinearBaseline: always 1.
+func TestLinearBaseline(t *testing.T) {
+	for _, p := range (Linear{}).Penalties(schemes.MK2(schemes.Fig4Volume)) {
+		if p != 1 {
+			t.Fatalf("linear penalty = %g, want 1", p)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package infiniband simulates the paper's InfiniBand Infinihost III
+// substrate (BULL Novascale cluster, MPIBULL2/MVAPICH).
+//
+// Mechanism modelled (Section III-C): credit-based flow control. Packets
+// are transmitted only when the destination has advertised buffer space,
+// which yields close-to-max-min sharing; when a receiver's buffers are
+// oversubscribed, credit starvation stalls the sending HCA's work queue
+// and partially throttles its other flows (a milder form of the GigE
+// pause coupling). The receive path of the HCA is slightly faster than a
+// single send path, which the paper's measurements show indirectly
+// (penalty of (d) in scheme S4 is only 1.14).
+package infiniband
+
+import (
+	"bwshare/internal/netsim"
+)
+
+// Config holds the InfiniBand substrate parameters.
+type Config struct {
+	// LineRate is the HCA send capacity in bytes/second. The Infinihost
+	// III in the paper's cluster sustains about 1 GB/s of MPI payload.
+	LineRate float64
+	// BetaIB is the single-stream efficiency: a lone stream reaches
+	// BetaIB*LineRate. Calibrated from the 2-flow penalty 1.725 of
+	// Figure 2: 2*beta = 1.725 -> beta = 0.8625.
+	BetaIB float64
+	// RxFactor scales the receive capacity relative to LineRate
+	// (full-duplex receive path headroom). Calibrated to 1.13 from the
+	// scheme S4/S5 incoming penalties.
+	RxFactor float64
+	// Coupling is the credit-stall sender coupling strength in [0,1].
+	// Calibrated to 0.65 from the jump of (a,b,c) penalties between
+	// schemes S4 (2.61) and S5 (3.66).
+	Coupling float64
+}
+
+// DefaultConfig returns the calibrated configuration reproducing the
+// Figure 2 InfiniBand column shape.
+func DefaultConfig() Config {
+	return Config{LineRate: 1000e6, BetaIB: 0.8625, RxFactor: 1.13, Coupling: 0.65}
+}
+
+// New builds the InfiniBand substrate engine.
+func New(cfg Config) *netsim.FluidEngine {
+	if cfg.LineRate <= 0 || cfg.BetaIB <= 0 || cfg.BetaIB > 1 || cfg.RxFactor <= 0 {
+		panic("infiniband: invalid config")
+	}
+	alloc := &netsim.CoupledAllocator{Cfg: netsim.CoupledConfig{
+		LineRate: cfg.LineRate,
+		FlowCap:  cfg.BetaIB * cfg.LineRate,
+		RxCap:    cfg.RxFactor * cfg.LineRate,
+		Coupling: cfg.Coupling,
+	}}
+	return netsim.NewFluidEngine("infiniband", cfg.BetaIB*cfg.LineRate, alloc)
+}

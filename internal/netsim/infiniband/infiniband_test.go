@@ -1,0 +1,83 @@
+package infiniband
+
+import (
+	"math"
+	"testing"
+
+	"bwshare/internal/measure"
+	"bwshare/internal/schemes"
+)
+
+func near(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+// TestTwoFlowPenaltyExact: the calibration anchor. Two outgoing flows
+// cost 2*betaIB = 1.725 each, exactly Figure 2's InfiniBand value.
+func TestTwoFlowPenaltyExact(t *testing.T) {
+	r := measure.Run(New(DefaultConfig()), schemes.Star(2, schemes.Fig2Volume))
+	for i, p := range r.Penalties {
+		if !near(p, 1.725, 1e-6) {
+			t.Errorf("penalty[%d] = %.6f, want 1.725", i, p)
+		}
+	}
+}
+
+// TestFig2Column: the InfiniBand column of Figure 2 within 25%.
+func TestFig2Column(t *testing.T) {
+	paper := map[int][]float64{
+		1: {1},
+		2: {1.725, 1.725},
+		3: {2.61, 2.61, 2.61},
+		4: {2.61, 2.61, 2.61, 1.14},
+		5: {3.663, 3.66, 3.66, 2.035, 2.035},
+		6: {3.935, 3.935, 3.935, 1.995, 1.995, 1.01},
+	}
+	e := New(DefaultConfig())
+	for k := 1; k <= 6; k++ {
+		r := measure.Run(e, schemes.Fig2(k))
+		for i, want := range paper[k] {
+			if !near(r.Penalties[i], want, 0.25) {
+				t.Errorf("S%d penalty[%d] = %.3f, paper %.3f (tolerance 25%%)", k, i, r.Penalties[i], want)
+			}
+		}
+	}
+}
+
+// TestCreditCouplingMilderThanGigE: InfiniBand's credit stalls couple the
+// sender less than GigE pause frames: in S5 the coupled star penalty
+// stays below the pure pause-coupled value but above plain max-min.
+func TestCreditCouplingMilderThanGigE(t *testing.T) {
+	e := New(DefaultConfig())
+	r := measure.Run(e, schemes.Fig2(5))
+	a := r.Penalties[0]
+	if !(a > 2.6 && a < 4.4) {
+		t.Errorf("S5 penalty(a) = %.3f, want in (2.6, 4.4) - between max-min and full pause coupling", a)
+	}
+}
+
+// TestSharingBehaviourVsSpeed reproduces the paper's Section IV
+// conclusion: GigE "shares better" (lower penalties for the same
+// conflict) but InfiniBand stays the faster interconnect in absolute
+// time for every communication of every scheme.
+func TestSharingBehaviourVsSpeed(t *testing.T) {
+	ib := New(DefaultConfig())
+	for k := 2; k <= 6; k++ {
+		r := measure.Run(ib, schemes.Fig2(k))
+		for i, tm := range r.Times {
+			// 20 MB at GigE's best case (idle, 93.75 MB/s) takes 0.213 s;
+			// InfiniBand must beat that even under contention here.
+			if tm > 20e6/(0.75*125e6) {
+				t.Errorf("S%d comm %d: InfiniBand time %.4f s slower than idle GigE", k, i, tm)
+			}
+		}
+	}
+}
+
+// TestRxHeadroom: a single incoming flow is never receive-limited.
+func TestRxHeadroom(t *testing.T) {
+	r := measure.Run(New(DefaultConfig()), schemes.Fig2(1))
+	if !near(r.Penalties[0], 1, 1e-9) {
+		t.Fatalf("single flow penalty = %g, want 1", r.Penalties[0])
+	}
+}

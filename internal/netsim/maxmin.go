@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"math"
+
+	"bwshare/internal/graph"
+)
+
+// WaterFill computes the max-min fair allocation of rates to flows under
+// three families of constraints: a per-flow rate cap, a capacity per
+// sender NIC and a capacity per receiver NIC. senderCap and recvCap give
+// the capacity for each node actually appearing as an endpoint; missing
+// entries default to def. Rates are written into the flows.
+//
+// The algorithm is classic progressive filling: grow all unfrozen flows
+// at the same speed until a constraint saturates, freeze the flows bound
+// by it, repeat. It terminates in at most len(flows) rounds.
+func WaterFill(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.NodeID]float64, defSend, defRecv float64) {
+	const relEps = 1e-9
+	type side struct {
+		left  float64 // remaining capacity
+		orig  float64 // original capacity (for relative saturation tests)
+		count int     // unfrozen flows using it
+	}
+	snd := make(map[graph.NodeID]*side)
+	rcv := make(map[graph.NodeID]*side)
+	capOf := func(m map[graph.NodeID]float64, n graph.NodeID, def float64) float64 {
+		if c, ok := m[n]; ok {
+			return c
+		}
+		return def
+	}
+	for _, f := range flows {
+		f.Rate = 0
+		if snd[f.Src] == nil {
+			c := capOf(senderCap, f.Src, defSend)
+			snd[f.Src] = &side{left: c, orig: c}
+		}
+		if rcv[f.Dst] == nil {
+			c := capOf(recvCap, f.Dst, defRecv)
+			rcv[f.Dst] = &side{left: c, orig: c}
+		}
+		snd[f.Src].count++
+		rcv[f.Dst].count++
+	}
+	frozen := make([]bool, len(flows))
+	remaining := len(flows)
+	for remaining > 0 {
+		// Smallest headroom over all constraints touching unfrozen flows.
+		inc := math.Inf(1)
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			if h := flowCap - f.Rate; h < inc {
+				inc = h
+			}
+			if s := snd[f.Src]; s.count > 0 {
+				if h := s.left / float64(s.count); h < inc {
+					inc = h
+				}
+			}
+			if r := rcv[f.Dst]; r.count > 0 {
+				if h := r.left / float64(r.count); h < inc {
+					inc = h
+				}
+			}
+		}
+		if math.IsInf(inc, 1) {
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Apply the increment.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			f.Rate += inc
+			snd[f.Src].left -= inc
+			rcv[f.Dst].left -= inc
+		}
+		// Freeze flows at saturated constraints (relative tolerance:
+		// capacities are O(1e8) bytes/second, so absolute epsilons
+		// misclassify rounding residue as headroom).
+		progressed := false
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			s, r := snd[f.Src], rcv[f.Dst]
+			if flowCap-f.Rate <= relEps*flowCap ||
+				s.left <= relEps*s.orig || r.left <= relEps*r.orig {
+				frozen[i] = true
+				s.count--
+				r.count--
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// inc was positive but nothing saturated exactly; numeric
+			// safety valve to guarantee termination.
+			break
+		}
+	}
+}
+
+// CoupledConfig parameterizes CoupledAllocator.
+type CoupledConfig struct {
+	// LineRate is the NIC transmit capacity in bytes/second.
+	LineRate float64
+	// FlowCap is the maximum steady rate of a single flow (bytes/second).
+	// For TCP this models the window/RTT ceiling (FlowCap = beta x
+	// LineRate with the paper's beta); for InfiniBand the verbs engine
+	// ceiling.
+	FlowCap float64
+	// RxCap is the receive-side capacity in bytes/second. Full-duplex
+	// NICs receive independently of transmit; measured InfiniBand
+	// penalties require RxCap slightly above LineRate.
+	RxCap float64
+	// Coupling is the sender-coupling strength kappa in [0, 1]. When a
+	// receiver is oversubscribed by a factor rho > CouplingThreshold,
+	// every sender feeding it loses a fraction kappa*(1 - 1/rho) of its
+	// NIC capacity, slowing all of that sender's flows - including flows
+	// to idle receivers. kappa = 1 models 802.3x pause frames (pausing
+	// stops the whole link); intermediate values model InfiniBand credit
+	// stalls. kappa = 0 disables coupling (pure max-min ablation).
+	Coupling float64
+	// CouplingThreshold is the oversubscription level above which the
+	// sender coupling engages. Moderate overload is absorbed by
+	// per-flow backpressure (TCP congestion control / per-QP credits)
+	// without NIC-wide stalls; only heavy overload triggers pause
+	// frames. Values <= 1 make coupling engage on any overload.
+	CouplingThreshold float64
+}
+
+// CoupledAllocator implements the two-phase rate allocation shared by the
+// GigE and InfiniBand substrates:
+//
+//  1. Base demand: each sender divides its line rate equally among its
+//     active flows, each capped at FlowCap.
+//  2. Receiver overload: every receiver computes its oversubscription
+//     rho = base inflow / RxCap. Each sender's effective capacity is
+//     reduced by Coupling*(1-1/rho_max) for the worst receiver it feeds
+//     (pause frames / credit stalls throttle the whole NIC).
+//  3. Final rates: max-min water-filling under FlowCap, the reduced
+//     sender capacities and RxCap.
+type CoupledAllocator struct {
+	Cfg CoupledConfig
+}
+
+// Allocate implements Allocator.
+func (a *CoupledAllocator) Allocate(flows []*Flow) {
+	cfg := a.Cfg
+	// Phase 1: base demand per sender.
+	nPerSender := make(map[graph.NodeID]int)
+	for _, f := range flows {
+		nPerSender[f.Src]++
+	}
+	base := func(f *Flow) float64 {
+		return math.Min(cfg.FlowCap, cfg.LineRate/float64(nPerSender[f.Src]))
+	}
+	// Phase 2: receiver oversubscription and sender coupling.
+	inflow := make(map[graph.NodeID]float64)
+	for _, f := range flows {
+		inflow[f.Dst] += base(f)
+	}
+	threshold := cfg.CouplingThreshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	effSend := make(map[graph.NodeID]float64)
+	for _, f := range flows {
+		rho := inflow[f.Dst] / cfg.RxCap
+		cur, ok := effSend[f.Src]
+		if !ok {
+			cur = cfg.LineRate
+			effSend[f.Src] = cur
+		}
+		if rho > threshold && cfg.Coupling > 0 {
+			reduced := cfg.LineRate * (1 - cfg.Coupling*(1-1/rho))
+			if reduced < cur {
+				effSend[f.Src] = reduced
+			}
+		}
+	}
+	// Phase 3: max-min under the adjusted capacities.
+	recvCap := make(map[graph.NodeID]float64)
+	for d := range inflow {
+		recvCap[d] = cfg.RxCap
+	}
+	WaterFill(flows, cfg.FlowCap, effSend, recvCap, cfg.LineRate, cfg.RxCap)
+}

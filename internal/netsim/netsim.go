@@ -1,0 +1,220 @@
+// Package netsim provides the simulated interconnect substrates that
+// replace the paper's physical clusters ("measured" times).
+//
+// Two engine families are provided:
+//
+//   - FluidEngine: flows progress at piecewise-constant rates computed by
+//     a pluggable Allocator each time the active flow set changes. The
+//     GigE and InfiniBand substrates are fluid engines whose allocators
+//     model TCP window caps, 802.3x pause coupling and credit
+//     backpressure (see the gige and infiniband subpackages).
+//   - The Myrinet substrate is a packet-level discrete-event simulator in
+//     the myrinet subpackage (Stop & Go head-of-line blocking cannot be
+//     expressed as a rate allocation).
+//
+// All engines implement core.Engine and are deterministic.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"bwshare/internal/core"
+	"bwshare/internal/graph"
+)
+
+// completionEps is the absolute byte threshold under which a flow is
+// considered finished. Volumes are megabytes-scale, so 1e-6 bytes is far
+// below any meaningful residue yet far above float64 noise.
+const completionEps = 1e-6
+
+// Flow is the allocator's view of one active transfer.
+type Flow struct {
+	ID        int
+	Src, Dst  graph.NodeID
+	Remaining float64 // bytes left
+	Rate      float64 // set by the Allocator, bytes/second
+}
+
+// Allocator assigns an instantaneous rate to every active flow. It is
+// invoked whenever the active set changes. Implementations write
+// Flow.Rate and must keep every rate >= 0; they must not retain the slice.
+type Allocator interface {
+	Allocate(flows []*Flow)
+}
+
+// FluidEngine is a deterministic fluid-flow network simulator.
+type FluidEngine struct {
+	name    string
+	refRate float64
+	alloc   Allocator
+
+	now    float64
+	active []*Flow
+	nextID int
+	dirty  bool
+}
+
+var _ core.Engine = (*FluidEngine)(nil)
+var _ core.Resetter = (*FluidEngine)(nil)
+
+// NewFluidEngine builds a fluid engine with the given allocator. refRate
+// is the single-flow reference rate the allocator yields on an idle
+// network (callers compute it from the allocator's parameters).
+func NewFluidEngine(name string, refRate float64, alloc Allocator) *FluidEngine {
+	if refRate <= 0 {
+		panic("netsim: refRate must be positive")
+	}
+	return &FluidEngine{name: name, refRate: refRate, alloc: alloc}
+}
+
+// Name implements core.Engine.
+func (e *FluidEngine) Name() string { return e.name }
+
+// RefRate implements core.Engine.
+func (e *FluidEngine) RefRate() float64 { return e.refRate }
+
+// Now returns the engine frontier.
+func (e *FluidEngine) Now() float64 { return e.now }
+
+// Reset implements core.Resetter.
+func (e *FluidEngine) Reset() {
+	e.now = 0
+	e.active = nil
+	e.nextID = 0
+	e.dirty = false
+}
+
+// StartFlow implements core.Engine. now must be at or after the frontier
+// and must not skip over a pending completion (that would be a driver
+// bug, and is reported by panic).
+func (e *FluidEngine) StartFlow(src, dst graph.NodeID, bytes float64, now float64) int {
+	if now < e.now {
+		panic(fmt.Sprintf("netsim: StartFlow at %g before frontier %g", now, e.now))
+	}
+	if bytes <= 0 {
+		panic("netsim: StartFlow with non-positive volume")
+	}
+	if now > e.now {
+		if t, ok := e.nextCompletionTime(); ok && t < now {
+			panic(fmt.Sprintf("netsim: StartFlow at %g skips completion at %g", now, t))
+		}
+		e.integrateTo(now)
+	}
+	f := &Flow{ID: e.nextID, Src: src, Dst: dst, Remaining: bytes}
+	e.nextID++
+	e.active = append(e.active, f)
+	e.dirty = true
+	return f.ID
+}
+
+// Advance implements core.Engine.
+func (e *FluidEngine) Advance(limit float64) ([]core.Completion, float64) {
+	for {
+		if len(e.active) == 0 {
+			if limit > e.now {
+				e.now = limit
+			}
+			return nil, e.now
+		}
+		e.reallocate()
+		te, ok := e.nextCompletionTime()
+		if !ok || te > limit {
+			e.integrateTo(limit)
+			return nil, e.now
+		}
+		e.integrateTo(te)
+		done := e.reap(te)
+		if len(done) == 0 {
+			// Numerical stall: te was computed as the earliest finish
+			// time, but at a large clock value the remaining time of the
+			// due flow can be below float64 resolution, so integration
+			// leaves a residual above completionEps (or te == now and
+			// nothing moves at all). The flows that determined te are
+			// due now by construction; complete them explicitly.
+			done = e.forceReapDue(te)
+		}
+		if len(done) > 0 {
+			return done, e.now
+		}
+	}
+}
+
+// forceReapDue finishes the flows whose completion time equals t within
+// float tolerance (the argmin set of nextCompletionTime). It guarantees
+// progress when byte-space reaping stalls on rounding.
+func (e *FluidEngine) forceReapDue(t float64) []core.Completion {
+	slack := 1e-12 * (1 + math.Abs(t))
+	for _, f := range e.active {
+		if f.Rate > 0 && f.Remaining/f.Rate <= slack {
+			f.Remaining = 0
+		}
+	}
+	return e.reap(t)
+}
+
+func (e *FluidEngine) reallocate() {
+	if !e.dirty {
+		return
+	}
+	e.alloc.Allocate(e.active)
+	for _, f := range e.active {
+		if f.Rate < 0 || math.IsNaN(f.Rate) {
+			panic(fmt.Sprintf("netsim: allocator produced invalid rate %g", f.Rate))
+		}
+	}
+	e.dirty = false
+}
+
+// nextCompletionTime returns the earliest finish time among active flows
+// at current rates. Flows with zero rate never finish.
+func (e *FluidEngine) nextCompletionTime() (float64, bool) {
+	e.reallocate()
+	best := math.Inf(1)
+	for _, f := range e.active {
+		if f.Rate <= 0 {
+			continue
+		}
+		t := e.now + f.Remaining/f.Rate
+		if t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+func (e *FluidEngine) integrateTo(t float64) {
+	if t <= e.now {
+		return
+	}
+	e.reallocate()
+	dt := t - e.now
+	for _, f := range e.active {
+		f.Remaining -= f.Rate * dt
+		if f.Remaining < 0 {
+			f.Remaining = 0
+		}
+	}
+	e.now = t
+}
+
+// reap removes finished flows and returns their completions at time t.
+func (e *FluidEngine) reap(t float64) []core.Completion {
+	var done []core.Completion
+	keep := e.active[:0]
+	for _, f := range e.active {
+		if f.Remaining <= completionEps {
+			done = append(done, core.Completion{Flow: f.ID, Time: t})
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	e.active = keep
+	if len(done) > 0 {
+		e.dirty = true
+	}
+	return done
+}

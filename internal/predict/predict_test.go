@@ -1,0 +1,127 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"bwshare/internal/graph"
+	"bwshare/internal/model"
+	"bwshare/internal/schemes"
+)
+
+// fig4RefRate is the idle-network rate implied by the paper's Figure 4:
+// the predicted time of (a) is 0.095 s and its static penalty 1.990875,
+// so Tref = 0.095/1.990875 = 0.0477 s for 4 MB.
+const fig4RefRate = 4e6 / 0.04772
+
+// TestFig4PredictedColumn reproduces the entire predicted-time column of
+// the paper's Figure 4 with progressive evaluation: 0.095, 0.095, 0.113,
+// 0.069, 0.103, 0.103 seconds (printed precision 1 ms). The static
+// formulas alone cannot produce 0.113 for (c) - its static penalty is
+// 2.7675 (0.132 s); the match is the evidence that the paper's simulator
+// re-evaluates penalties at each completion (see DESIGN.md).
+func TestFig4PredictedColumn(t *testing.T) {
+	g := schemes.Fig4()
+	times := Times(g, model.NewGigE(), fig4RefRate)
+	want := []float64{0.095, 0.095, 0.113, 0.069, 0.103, 0.103}
+	for i, w := range want {
+		if math.Abs(times[i]-w) > 0.0012 {
+			t.Errorf("Tp[%c] = %.4f s, want %.3f s (paper Figure 4)", 'a'+i, times[i], w)
+		}
+	}
+}
+
+// TestFig4StaticVsProgressive quantifies the EXP-A1 ablation on (c): the
+// static prediction overshoots the progressive one by ~17%.
+func TestFig4StaticVsProgressive(t *testing.T) {
+	g := schemes.Fig4()
+	m := model.NewGigE()
+	prog := Times(g, m, fig4RefRate)
+	stat := StaticTimes(g, m, fig4RefRate)
+	cID := graph.CommID(2) // communication c
+	if !(stat[cID] > prog[cID]*1.1) {
+		t.Errorf("static c = %.4f should exceed progressive c = %.4f by >10%%", stat[cID], prog[cID])
+	}
+	// For communications that finish first the two must agree.
+	dID := graph.CommID(3)
+	if math.Abs(stat[dID]-prog[dID]) > 1e-9 {
+		t.Errorf("first finisher d: static %.6f != progressive %.6f", stat[dID], prog[dID])
+	}
+}
+
+// TestProgressiveFirstCompletionMatchesStatic: until the first completion
+// nothing changes in the conflict graph, so the earliest progressive
+// finish time must equal the smallest static time. (Progressive times of
+// *later* finishers may be smaller - relief - or even slightly larger:
+// a completion can shrink card(Cm) and push a survivor into the strongly
+// slowed set. The paper's Figure 4 shows both effects: c relieved,
+// e/f slightly raised in the final 3-receiver phase.)
+func TestProgressiveFirstCompletionMatchesStatic(t *testing.T) {
+	models := []interface {
+		Name() string
+		Penalties(*graph.Graph) []float64
+	}{model.NewGigE(), model.NewMyrinet(), model.KimLee{}}
+	minOf := func(xs []float64) float64 {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	}
+	for _, name := range schemes.Names() {
+		g, _ := schemes.Named(name)
+		for _, m := range models {
+			prog := Times(g, m, 1e8)
+			stat := StaticTimes(g, m, 1e8)
+			if p, s := minOf(prog), minOf(stat); math.Abs(p-s) > 1e-9*s {
+				t.Errorf("%s/%s: first progressive completion %.6f != first static %.6f",
+					m.Name(), name, p, s)
+			}
+		}
+	}
+}
+
+// TestSingleFlowMatchesRefRate: a lone communication moves at refRate.
+func TestSingleFlowMatchesRefRate(t *testing.T) {
+	g := schemes.Fig2(1)
+	times := Times(g, model.NewGigE(), 1e8)
+	want := schemes.Fig2Volume / 1e8
+	if math.Abs(times[0]-want) > 1e-12 {
+		t.Fatalf("time = %g, want %g", times[0], want)
+	}
+}
+
+// TestPenaltiesNormalization: Penalties = Times / (V/refRate).
+func TestPenaltiesNormalization(t *testing.T) {
+	g := schemes.Fig2(3)
+	m := model.NewMyrinet()
+	times := Times(g, m, 1e8)
+	pens := Penalties(g, m, 1e8)
+	for i := range times {
+		want := times[i] / (schemes.Fig2Volume / 1e8)
+		if math.Abs(pens[i]-want) > 1e-12 {
+			t.Errorf("penalty[%d] = %g, want %g", i, pens[i], want)
+		}
+	}
+}
+
+// TestMyrinetProgressiveFig2S4: the progressive Myrinet prediction of S4.
+// Static penalties are (3,3,3,1.5); d finishes first and the star then
+// relaxes to a 3-way split evaluated on the remaining volume.
+func TestMyrinetProgressiveFig2S4(t *testing.T) {
+	g := schemes.Fig2(4)
+	times := Penalties(g, model.NewMyrinet(), 1e8)
+	// d: rate 1/1.5 until done -> penalty 1.5 exactly.
+	if math.Abs(times[3]-1.5) > 1e-9 {
+		t.Errorf("d penalty = %g, want 1.5", times[3])
+	}
+	// a,b,c: at t=1.5 they have 1 - 1.5/3 = 0.5 volume left; the
+	// remaining star of 3 still has penalty 3 -> finish at 1.5+1.5 = 3.
+	for i := 0; i < 3; i++ {
+		if math.Abs(times[i]-3) > 1e-9 {
+			t.Errorf("penalty[%d] = %g, want 3", i, times[i])
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package report renders experiment results as text tables and ASCII bar
+// charts, mirroring the layout of the paper's figures so outputs can be
+// compared side by side with the published ones.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple text table with a title, a header row and data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row built from (format, value) pairs rendered with
+// fmt.Sprintf.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprint(c))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with column alignment.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders grouped horizontal bars, one line per (label, series
+// value), like the measured/predicted pairs of Figures 8-9.
+type BarChart struct {
+	Title  string
+	Series []string    // e.g. ["measured", "predicted"]
+	Labels []string    // e.g. task names
+	Values [][]float64 // Values[label][series]
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+	// Unit is appended to printed values.
+	Unit string
+}
+
+// Render writes the chart; bars are scaled to the global maximum.
+func (b *BarChart) Render(w io.Writer) {
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, vs := range b.Values {
+		for _, v := range vs {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n", b.Title)
+	}
+	lw := 0
+	for _, l := range b.Labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	sw := 0
+	for _, s := range b.Series {
+		if len(s) > sw {
+			sw = len(s)
+		}
+	}
+	marks := []byte{'#', '=', '-', '+'}
+	for li, label := range b.Labels {
+		for si, series := range b.Series {
+			v := b.Values[li][si]
+			n := 0
+			if max > 0 {
+				n = int(v / max * float64(width))
+			}
+			mark := marks[si%len(marks)]
+			fmt.Fprintf(w, "  %s %s |%s %.4g%s\n",
+				pad(label, lw), pad(series, sw), strings.Repeat(string(mark), n), v, b.Unit)
+		}
+	}
+}
+
+// String renders to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want title+header+separator+2 rows = 5; got:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Errorf("row shorter than header: %q", ln)
+		}
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := Table{Header: []string{"x", "y"}}
+	tb.AddRowf(42, 3.5)
+	if !strings.Contains(tb.String(), "42") || !strings.Contains(tb.String(), "3.5") {
+		t.Fatalf("AddRowf lost values:\n%s", tb.String())
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	c := BarChart{
+		Title:  "bars",
+		Series: []string{"m", "p"},
+		Labels: []string{"t0", "t1"},
+		Values: [][]float64{{10, 5}, {20, 20}},
+		Width:  10,
+		Unit:   "s",
+	}
+	out := c.String()
+	if !strings.Contains(out, "bars") {
+		t.Error("missing title")
+	}
+	// The maximum value must render the full width; half renders half.
+	lines := strings.Split(out, "\n")
+	countMarks := func(line string, mark byte) int {
+		n := 0
+		for i := 0; i < len(line); i++ {
+			if line[i] == mark {
+				n++
+			}
+		}
+		return n
+	}
+	var full, half int
+	for _, ln := range lines {
+		if strings.Contains(ln, "t1 m") {
+			full = countMarks(ln, '#')
+		}
+		if strings.Contains(ln, "t0 p") {
+			half = countMarks(ln, '=')
+		}
+	}
+	if full != 10 {
+		t.Errorf("max bar = %d marks, want 10", full)
+	}
+	if half != 2 { // 5/20 * 10
+		t.Errorf("quarter bar = %d marks, want 2", half)
+	}
+}
+
+func TestBarChartZeroMax(t *testing.T) {
+	c := BarChart{Series: []string{"m"}, Labels: []string{"a"}, Values: [][]float64{{0}}}
+	if out := c.String(); !strings.Contains(out, "a") {
+		t.Fatalf("zero chart broken:\n%s", out)
+	}
+}
+
+func TestPad(t *testing.T) {
+	if pad("ab", 4) != "ab  " || pad("abcd", 2) != "abcd" {
+		t.Fatal("pad wrong")
+	}
+}

@@ -1,0 +1,82 @@
+// Package sched implements the paper's three task placements
+// (Section VI-D):
+//
+//   - RRN (round-robin per node): consecutive MPI ranks land on
+//     consecutive nodes, cycling back when every node has one more task.
+//   - RRP (round-robin per processor): nodes are filled core by core
+//     before moving on, so consecutive ranks usually share a node.
+//   - Random: ranks are assigned to free slots uniformly at random
+//     (seeded and deterministic).
+//
+// Placement changes which communications touch the network at all
+// (same-node pairs use shared memory) and how conflicts overlap, which is
+// why the paper evaluates its models under all three.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bwshare/internal/cluster"
+	"bwshare/internal/graph"
+)
+
+// Strategy names accepted by New.
+const (
+	RRN    = "rrn"
+	RRP    = "rrp"
+	Random = "random"
+)
+
+// Strategies lists the supported strategy names.
+func Strategies() []string { return []string{RRN, RRP, Random} }
+
+// Place assigns tasks ranks 0..tasks-1 to cluster nodes using the named
+// strategy. seed is only used by Random.
+func Place(strategy string, c cluster.Cluster, tasks int, seed int64) (cluster.Placement, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if tasks <= 0 {
+		return nil, fmt.Errorf("sched: tasks = %d, need > 0", tasks)
+	}
+	if tasks > c.Slots() {
+		return nil, fmt.Errorf("sched: %d tasks exceed %d slots", tasks, c.Slots())
+	}
+	p := make(cluster.Placement, tasks)
+	switch strategy {
+	case RRN:
+		for r := 0; r < tasks; r++ {
+			p[r] = graph.NodeID(r % c.Nodes)
+		}
+	case RRP:
+		for r := 0; r < tasks; r++ {
+			p[r] = graph.NodeID(r / c.CoresPerNode)
+		}
+	case Random:
+		slots := make([]graph.NodeID, 0, c.Slots())
+		for n := 0; n < c.Nodes; n++ {
+			for k := 0; k < c.CoresPerNode; k++ {
+				slots = append(slots, graph.NodeID(n))
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+		copy(p, slots[:tasks])
+	default:
+		return nil, fmt.Errorf("sched: unknown strategy %q (want rrn, rrp or random)", strategy)
+	}
+	if err := p.Validate(c); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustPlace is Place that panics on error, for tests and examples.
+func MustPlace(strategy string, c cluster.Cluster, tasks int, seed int64) cluster.Placement {
+	p, err := Place(strategy, c, tasks, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bwshare/internal/cluster"
+	"bwshare/internal/graph"
+)
+
+func TestRRN(t *testing.T) {
+	c := cluster.Default(4)
+	p := MustPlace(RRN, c, 8, 0)
+	want := cluster.Placement{0, 1, 2, 3, 0, 1, 2, 3}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("RRN = %v, want %v", p, want)
+	}
+}
+
+func TestRRP(t *testing.T) {
+	c := cluster.Default(4)
+	p := MustPlace(RRP, c, 8, 0)
+	want := cluster.Placement{0, 0, 1, 1, 2, 2, 3, 3}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("RRP = %v, want %v", p, want)
+	}
+}
+
+// TestRRNvsRRPNeighbours: the paper's point about placement: with RRP,
+// ring neighbours (n, n+1) mostly share a node; with RRN they never do
+// (when tasks <= nodes*cores and nodes > 1).
+func TestRRNvsRRPNeighbours(t *testing.T) {
+	c := cluster.Default(8)
+	rrn := MustPlace(RRN, c, 16, 0)
+	rrp := MustPlace(RRP, c, 16, 0)
+	rrnShared, rrpShared := 0, 0
+	for r := 0; r < 15; r++ {
+		if rrn.SameNode(r, r+1) {
+			rrnShared++
+		}
+		if rrp.SameNode(r, r+1) {
+			rrpShared++
+		}
+	}
+	if rrnShared != 0 {
+		t.Errorf("RRN: %d neighbour pairs share a node, want 0", rrnShared)
+	}
+	if rrpShared != 8 {
+		t.Errorf("RRP: %d neighbour pairs share a node, want 8", rrpShared)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	c := cluster.Default(4)
+	a := MustPlace(Random, c, 8, 42)
+	b := MustPlace(Random, c, 8, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give same placement")
+	}
+	d := MustPlace(Random, c, 8, 43)
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("different seeds should differ (vanishingly unlikely collision)")
+	}
+}
+
+// TestRandomRespectsCapacity is a property test: any seed yields a valid
+// placement.
+func TestRandomRespectsCapacity(t *testing.T) {
+	c := cluster.Default(5)
+	prop := func(seed int64, tasksRaw uint8) bool {
+		tasks := int(tasksRaw%uint8(c.Slots())) + 1
+		p, err := Place(Random, c, tasks, seed)
+		if err != nil {
+			return false
+		}
+		return p.Validate(c) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := cluster.Default(2)
+	if _, err := Place("nope", c, 2, 0); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := Place(RRN, c, 0, 0); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := Place(RRN, c, 100, 0); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := Place(RRN, cluster.Cluster{}, 1, 0); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+func TestStrategiesList(t *testing.T) {
+	if len(Strategies()) != 3 {
+		t.Fatal("want 3 strategies")
+	}
+	c := cluster.Default(2)
+	for _, s := range Strategies() {
+		if _, err := Place(s, c, 4, 1); err != nil {
+			t.Errorf("strategy %s failed: %v", s, err)
+		}
+	}
+}
+
+var _ = graph.NodeID(0) // keep the import obviously intentional

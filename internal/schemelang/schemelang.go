@@ -1,0 +1,157 @@
+// Package schemelang parses the textual communication-scheme description
+// language used by the measurement software (the paper's Section IV-B
+// mentions "a specific description language" for communication task
+// schemes; this is our concrete syntax for it).
+//
+// Syntax (one statement per line, '#' starts a comment):
+//
+//	# the S4 scheme of Figure 2
+//	volume 20MB          # default volume for subsequent comms
+//	a: 0 -> 2            # label ':' source '->' destination
+//	b: 0 -> 2 10MB       # per-comm volume override
+//	c: 4 -> 2
+//
+// Volumes accept B, KB, MB, GB suffixes (decimal, like the paper's
+// 20 MB messages) or a plain number of bytes.
+package schemelang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bwshare/internal/graph"
+)
+
+// DefaultVolume is used when no volume directive or suffix is given:
+// the paper's 20 MB benchmark message.
+const DefaultVolume = 20e6
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("schemelang: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse builds a communication graph from the textual description.
+func Parse(src string) (*graph.Graph, error) {
+	b := graph.NewBuilder()
+	volume := float64(DefaultVolume)
+	seen := false
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "volume" {
+			if len(fields) != 2 {
+				return nil, &ParseError{ln + 1, "volume directive needs exactly one argument"}
+			}
+			v, err := ParseVolume(fields[1])
+			if err != nil {
+				return nil, &ParseError{ln + 1, err.Error()}
+			}
+			volume = v
+			continue
+		}
+		label, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, &ParseError{ln + 1, fmt.Sprintf("expected 'label: src -> dst' or 'volume', got %q", line)}
+		}
+		label = strings.TrimSpace(label)
+		if label == "" || strings.ContainsAny(label, " \t") {
+			return nil, &ParseError{ln + 1, fmt.Sprintf("invalid label %q", label)}
+		}
+		srcStr, dstStr, ok := strings.Cut(rest, "->")
+		if !ok {
+			return nil, &ParseError{ln + 1, "missing '->'"}
+		}
+		srcNode, err := parseNode(srcStr)
+		if err != nil {
+			return nil, &ParseError{ln + 1, "source: " + err.Error()}
+		}
+		dstFields := strings.Fields(dstStr)
+		if len(dstFields) < 1 || len(dstFields) > 2 {
+			return nil, &ParseError{ln + 1, "expected 'dst [volume]' after '->'"}
+		}
+		dstNode, err := parseNode(dstFields[0])
+		if err != nil {
+			return nil, &ParseError{ln + 1, "destination: " + err.Error()}
+		}
+		v := volume
+		if len(dstFields) == 2 {
+			v, err = ParseVolume(dstFields[1])
+			if err != nil {
+				return nil, &ParseError{ln + 1, err.Error()}
+			}
+		}
+		b.Add(label, srcNode, dstNode, v)
+		seen = true
+	}
+	if !seen {
+		return nil, &ParseError{0, "no communications in scheme"}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("schemelang: %w", err)
+	}
+	return g, nil
+}
+
+func parseNode(s string) (graph.NodeID, error) {
+	s = strings.TrimSpace(s)
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid node id %q (want a non-negative integer)", s)
+	}
+	return graph.NodeID(n), nil
+}
+
+// ParseVolume parses a byte volume with an optional decimal suffix:
+// "20MB", "512KB", "1.5GB", "8B" or a raw byte count "4000000".
+func ParseVolume(s string) (float64, error) {
+	mult := 1.0
+	num := s
+	for _, suf := range []struct {
+		name string
+		mult float64
+	}{{"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1}} {
+		if strings.HasSuffix(strings.ToUpper(s), suf.name) {
+			mult = suf.mult
+			num = s[:len(s)-len(suf.name)]
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid volume %q", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("volume %q must be positive", s)
+	}
+	return v * mult, nil
+}
+
+// Format renders a graph back into the language (volumes in MB where
+// exact). Parse(Format(g)) reproduces g.
+func Format(g *graph.Graph) string {
+	var sb strings.Builder
+	for _, c := range g.Comms() {
+		if mb := c.Volume / 1e6; mb == float64(int64(mb)) && mb >= 1 {
+			fmt.Fprintf(&sb, "%s: %d -> %d %dMB\n", c.Label, c.Src, c.Dst, int64(mb))
+		} else {
+			fmt.Fprintf(&sb, "%s: %d -> %d %gB\n", c.Label, c.Src, c.Dst, c.Volume)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,171 @@
+package schemes
+
+import (
+	"testing"
+
+	"bwshare/internal/graph"
+)
+
+func TestFig2Cumulative(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		g := Fig2(k)
+		if g.Len() != k {
+			t.Fatalf("Fig2(%d) has %d comms", k, g.Len())
+		}
+		// Cumulative: Fig2(k) extends Fig2(k-1).
+		if k > 1 {
+			prev := Fig2(k - 1)
+			for _, c := range prev.Comms() {
+				cc, ok := g.ByLabel(c.Label)
+				if !ok || cc.Src != c.Src || cc.Dst != c.Dst {
+					t.Errorf("Fig2(%d) changed comm %s", k, c.Label)
+				}
+			}
+		}
+		for _, c := range g.Comms() {
+			if c.Volume != Fig2Volume {
+				t.Errorf("Fig2(%d) comm %s volume %g, want 20MB", k, c.Label, c.Volume)
+			}
+		}
+	}
+}
+
+func TestFig2OutOfRangePanics(t *testing.T) {
+	for _, k := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fig2(%d) should panic", k)
+				}
+			}()
+			Fig2(k)
+		}()
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	g := Fig4()
+	if g.Len() != 6 {
+		t.Fatalf("Fig4 has %d comms", g.Len())
+	}
+	// Node 0 has the maximal out-degree (3), node 3 the maximal
+	// in-degree (3) - the properties the gamma calibration depends on.
+	if g.OutDegree(0) != 3 {
+		t.Errorf("out-degree(0) = %d, want 3", g.OutDegree(0))
+	}
+	if g.InDegree(3) != 3 {
+		t.Errorf("in-degree(3) = %d, want 3", g.InDegree(3))
+	}
+	a, _ := g.ByLabel("a")
+	if g.InDegree(a.Dst) != 1 {
+		t.Error("comm a must target an uncontested receiver")
+	}
+	f, _ := g.ByLabel("f")
+	if g.OutDegree(f.Src) != 1 {
+		t.Error("comm f must leave an uncontested sender")
+	}
+	for _, c := range g.Comms() {
+		if c.Volume != Fig4Volume {
+			t.Errorf("comm %s volume %g, want 4MB", c.Label, c.Volume)
+		}
+	}
+}
+
+func TestFig5Degrees(t *testing.T) {
+	g := Fig5()
+	if g.Len() != 6 {
+		t.Fatalf("Fig5 has %d comms", g.Len())
+	}
+	// Structure that produces Figure 6: node 0 sends a,b,c; node 2
+	// sends e,f; node 1 receives a,d,e.
+	if g.OutDegree(0) != 3 || g.OutDegree(2) != 2 || g.InDegree(1) != 3 {
+		t.Fatalf("Fig5 degrees wrong: out0=%d out2=%d in1=%d",
+			g.OutDegree(0), g.OutDegree(2), g.InDegree(1))
+	}
+}
+
+func TestMK2IsCompleteK5(t *testing.T) {
+	g := MK2(Fig4Volume)
+	if g.Len() != 10 {
+		t.Fatalf("MK2 has %d comms, want C(5,2) = 10", g.Len())
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	for _, c := range g.Comms() {
+		lo, hi := c.Src, c.Dst
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := [2]graph.NodeID{lo, hi}
+		if seen[key] {
+			t.Errorf("pair %v covered twice", key)
+		}
+		seen[key] = true
+		if c.Src > 4 || c.Dst > 4 {
+			t.Errorf("comm %s outside K5: %d->%d", c.Label, c.Src, c.Dst)
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d pairs, want 10", len(seen))
+	}
+}
+
+func TestMK1HasFullDuplexPair(t *testing.T) {
+	g := MK1(Fig4Volume)
+	if g.Len() != 7 {
+		t.Fatalf("MK1 has %d comms, want 7", g.Len())
+	}
+	// The pair the paper singles out: traffic in both directions
+	// between one node pair (f: 6->3 and g: 3->6).
+	fwd, bwd := false, false
+	for _, c := range g.Comms() {
+		if c.Src == 3 && c.Dst == 6 {
+			fwd = true
+		}
+		if c.Src == 6 && c.Dst == 3 {
+			bwd = true
+		}
+	}
+	if !fwd || !bwd {
+		t.Error("MK1 must carry a full-duplex node pair (3<->6)")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Star(4, 1e6); g.Len() != 4 || g.OutDegree(0) != 4 {
+		t.Error("Star wrong")
+	}
+	if g := Gather(4, 1e6); g.Len() != 4 || g.InDegree(0) != 4 {
+		t.Error("Gather wrong")
+	}
+	if g := Ring(5, 1e6); g.Len() != 5 || g.OutDegree(0) != 1 || g.InDegree(0) != 1 {
+		t.Error("Ring wrong")
+	}
+	if g := Complete(5, 1e6); g.Len() != 10 {
+		t.Error("Complete wrong")
+	}
+	for _, fn := range []func(){
+		func() { Star(0, 1) }, func() { Gather(0, 1) },
+		func() { Ring(1, 1) }, func() { Complete(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for degenerate generator input")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNamedRegistryComplete(t *testing.T) {
+	for _, name := range Names() {
+		g, ok := Named(name)
+		if !ok || g == nil || g.Len() == 0 {
+			t.Errorf("registry entry %q broken", name)
+		}
+	}
+	if _, ok := Named("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}

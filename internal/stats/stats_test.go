@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelErrSign(t *testing.T) {
+	if got := RelErr(1.1, 1.0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("RelErr = %g, want 10 (pessimistic positive)", got)
+	}
+	if got := RelErr(0.9, 1.0); math.Abs(got+10) > 1e-9 {
+		t.Errorf("RelErr = %g, want -10 (optimistic negative)", got)
+	}
+}
+
+func TestAbsErrNoCompensation(t *testing.T) {
+	// +10% and -10% must NOT cancel out.
+	got := AbsErr([]float64{1.1, 0.9}, []float64{1, 1})
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("AbsErr = %g, want 10", got)
+	}
+}
+
+func TestPaperMK1Example(t *testing.T) {
+	// Figure 7 MK1: the printed per-communication errors average to 2.6.
+	tm := []float64{0.087, 0.087, 0.070, 0.052, 0.037, 0.051, 0.070}
+	tp := []float64{0.089, 0.089, 0.071, 0.053, 0.035, 0.053, 0.071}
+	got := AbsErr(tp, tm)
+	if math.Abs(got-2.67) > 0.15 {
+		t.Fatalf("Eabs = %.2f, paper rounds to 2.6", got)
+	}
+}
+
+func TestTaskAbsErr(t *testing.T) {
+	if got := TaskAbsErr(0.9, 1.0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("TaskAbsErr = %g, want 10", got)
+	}
+	errs := TaskAbsErrs([]float64{2, 1}, []float64{1, 2})
+	if math.Abs(errs[0]-100) > 1e-9 || math.Abs(errs[1]-50) > 1e-9 {
+		t.Fatalf("TaskAbsErrs = %v", errs)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RelErrs([]float64{1}, []float64{1, 2}) },
+		func() { TaskAbsErrs([]float64{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 || Min(xs) != 1 || Max(xs) != 4 {
+		t.Fatalf("aggregates wrong: %g %g %g", Mean(xs), Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty aggregates must be 0")
+	}
+	if got := StdDev([]float64{2, 4}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("StdDev = %g, want 1", got)
+	}
+}
+
+// TestAbsErrProperties: Eabs is nonnegative, zero iff exact, and
+// symmetric under permutations.
+func TestAbsErrProperties(t *testing.T) {
+	prop := func(m1, m2, m3 uint16, p1, p2, p3 uint16) bool {
+		m := []float64{float64(m1) + 1, float64(m2) + 1, float64(m3) + 1}
+		p := []float64{float64(p1) + 1, float64(p2) + 1, float64(p3) + 1}
+		e := AbsErr(p, m)
+		if e < 0 {
+			return false
+		}
+		perm := AbsErr([]float64{p[2], p[0], p[1]}, []float64{m[2], m[0], m[1]})
+		if math.Abs(e-perm) > 1e-9 {
+			return false
+		}
+		if AbsErr(m, m) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	return &Trace{Tasks: []Task{
+		{
+			{Kind: Barrier},
+			{Kind: Compute, Duration: 0.5},
+			{Kind: Send, Peer: 1, Bytes: 1e6, Tag: 3},
+		},
+		{
+			{Kind: Barrier},
+			{Kind: Recv, Peer: AnySource, Bytes: 1e6, Tag: 3},
+		},
+	}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := sample()
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestReadRejectsBadFormat(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"format":"nope","tasks":1}`)); err == nil {
+		t.Fatal("expected format error")
+	}
+	if _, err := Read(strings.NewReader(`garbage`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestReadRejectsOutOfRangeTask(t *testing.T) {
+	in := `{"format":"bwshare-trace-v1","tasks":1}
+{"task":5,"kind":"compute","duration":1}`
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("expected task range error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Trace{
+		{Tasks: []Task{{{Kind: Compute, Duration: -1}}}},
+		{Tasks: []Task{{{Kind: Send, Peer: 5, Bytes: 1}}, {}}},
+		{Tasks: []Task{{{Kind: Send, Peer: 0, Bytes: 1}}, {}}},
+		{Tasks: []Task{{{Kind: Send, Peer: 1, Bytes: 0}}, {}}},
+		{Tasks: []Task{{{Kind: Recv, Peer: 7, Bytes: 1}}, {}}},
+		{Tasks: []Task{{{Kind: Kind("nope")}}}},
+		{Tasks: []Task{{{Kind: Barrier}}, {}}}, // unbalanced barriers
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := sample().Validate(); err != nil {
+		t.Errorf("sample should validate: %v", err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sample().Summary()
+	want := Stats{Tasks: 2, Events: 5, Sends: 1, TotalBytes: 1e6, ComputeSec: 0.5}
+	if s != want {
+		t.Fatalf("Summary = %+v, want %+v", s, want)
+	}
+}
+
+func TestAnySourceConstant(t *testing.T) {
+	// The wire format must keep AnySource distinguishable.
+	var buf bytes.Buffer
+	tr := &Trace{Tasks: []Task{
+		{{Kind: Recv, Peer: AnySource, Bytes: 5}},
+		{{Kind: Send, Peer: 0, Bytes: 5}},
+	}}
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tasks[0][0].Peer != AnySource {
+		t.Fatalf("AnySource lost in round trip: %+v", got.Tasks[0][0])
+	}
+}
