@@ -1,0 +1,19 @@
+# Tier-1 verification and development targets. `make verify` is the
+# canonical gate: go build ./... && go test ./...
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+verify: build test

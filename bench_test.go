@@ -1,7 +1,7 @@
 package bwshare
 
 // Benchmark harness: one benchmark per table/figure of the paper's
-// evaluation (see DESIGN.md section 5 for the experiment index), plus
+// evaluation (see the experiment index in README.md), plus
 // the EXP-A* ablations and micro-benchmarks of the hot paths. Each
 // figure benchmark regenerates the corresponding experiment end to end;
 // run `go run ./cmd/bwexperiments` for the rendered tables.

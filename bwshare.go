@@ -34,8 +34,8 @@
 //	pen := bwshare.MyrinetModel().Penalties(s)      // static penalties
 //	res := bwshare.Measure(bwshare.NewMyrinet(), s) // substrate run
 //
-// See the examples directory for complete programs, and DESIGN.md /
-// EXPERIMENTS.md for the experiment-by-experiment reproduction record.
+// See the examples directory for complete programs, and README.md for
+// the build instructions, the experiment CLI and the experiment index.
 package bwshare
 
 import (
@@ -53,6 +53,7 @@ import (
 	"bwshare/internal/netsim/infiniband"
 	"bwshare/internal/netsim/myrinet"
 	"bwshare/internal/predict"
+	"bwshare/internal/randgen"
 	"bwshare/internal/replay"
 	"bwshare/internal/sched"
 	"bwshare/internal/schemelang"
@@ -94,6 +95,10 @@ type (
 	HPLConfig = hpl.Config
 	// DegreeModel is the parametric (beta, gamma) penalty model family.
 	DegreeModel = model.DegreeModel
+	// RandomSchemeConfig bounds the seeded random scheme generator.
+	RandomSchemeConfig = randgen.SchemeConfig
+	// RandomTraceConfig bounds the seeded random trace generator.
+	RandomTraceConfig = randgen.TraceConfig
 )
 
 // AnySource is the wildcard receive peer (MPI_ANY_SOURCE).
@@ -216,6 +221,41 @@ func BroadcastTrace(p, iters int, bytes, computeSec float64) (*Trace, error) {
 // one cluster (ranks are concatenated; they interact only through the
 // shared network).
 func ComposeTraces(ts ...*Trace) (*Trace, error) { return apps.Compose(ts...) }
+
+// DefaultRandomSchemeConfig returns generator bounds spanning the
+// paper's figure schemes (see randgen.DefaultSchemeConfig).
+func DefaultRandomSchemeConfig() RandomSchemeConfig { return randgen.DefaultSchemeConfig() }
+
+// RandomScheme deterministically generates a random communication
+// scheme from a seed: bounded node count, fan-in/fan-out degrees and
+// volumes per cfg. Identical (seed, cfg) always yield the identical
+// scheme.
+func RandomScheme(seed int64, cfg RandomSchemeConfig) (*Scheme, error) {
+	return randgen.SchemeFromSeed(seed, cfg)
+}
+
+// RandomSchemes generates n random schemes from one seeded stream;
+// scheme i is stable as n grows.
+func RandomSchemes(seed int64, n int, cfg RandomSchemeConfig) ([]*Scheme, error) {
+	return randgen.Schemes(seed, n, cfg)
+}
+
+// DefaultRandomTraceConfig returns trace generator bounds the size of
+// the paper's HPL runs (see randgen.DefaultTraceConfig).
+func DefaultRandomTraceConfig() RandomTraceConfig { return randgen.DefaultTraceConfig() }
+
+// RandomTrace deterministically generates a barrier-free,
+// rendezvous-safe random application trace from a seed. The result
+// replays without deadlock and composes with ComposeTraces.
+func RandomTrace(seed int64, cfg RandomTraceConfig) (*Trace, error) {
+	return randgen.TraceFromSeed(seed, cfg)
+}
+
+// RandomWorkload generates napps random applications and composes them
+// into one co-scheduled trace sharing the network.
+func RandomWorkload(seed int64, napps int, cfg RandomTraceConfig) (*Trace, error) {
+	return randgen.WorkloadFromSeed(seed, napps, cfg)
+}
 
 // WriteTrace and ReadTrace serialize traces as JSON Lines.
 func WriteTrace(w io.Writer, t *Trace) error { return trace.Write(w, t) }

@@ -1,12 +1,18 @@
 // Command bwexperiments regenerates every table and figure of the
-// paper's evaluation section plus the ablations of DESIGN.md, printing
+// paper's evaluation section plus the ablation experiments, printing
 // our simulated results side by side with the published numbers.
+//
+// Experiments run concurrently over a bounded worker pool; output order
+// and content are byte-identical for any -parallel value, and the
+// randomized sweep is a pure function of -seed.
 //
 // Usage:
 //
-//	bwexperiments              # everything
-//	bwexperiments -exp f2      # one experiment: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3
-//	bwexperiments -exp f8 -n 10000
+//	bwexperiments                     # everything, NumCPU workers
+//	bwexperiments -exp f2             # one experiment: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 rnd
+//	bwexperiments -exp f8 -n 10000    # smaller HPL replay
+//	bwexperiments -random 50 -seed 7  # add a 50-scheme randomized sweep
+//	bwexperiments -parallel 1         # serial execution (same output)
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 
 	"bwshare/internal/experiments"
+	"bwshare/internal/randgen"
 )
 
 func main() {
@@ -27,72 +34,43 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bwexperiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 or all")
+	exp := fs.String("exp", "all", "experiment id: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 rnd or all")
 	n := fs.Int("n", 20500, "HPL problem size for f8/f9")
 	tasks := fs.Int("tasks", 16, "HPL task count for f8/f9")
 	nodes := fs.Int("nodes", 8, "cluster nodes for f8/f9")
+	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = NumCPU); does not change output")
+	seed := fs.Int64("seed", 1, "seed for the randomized sweep")
+	random := fs.Int("random", 0, "number of random schemes in the rnd sweep (0 disables it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	hplCfg := experiments.HPLConfig{N: *n, Tasks: *tasks, Nodes: *nodes, Seed: 42}
-	want := func(id string) bool { return *exp == "all" || *exp == id }
-	ran := false
-	if want("f2") {
-		fmt.Fprint(out, experiments.Fig2Table(experiments.Fig2()))
-		ran = true
+	if *random < 0 {
+		return fmt.Errorf("-random must be >= 0, got %d", *random)
 	}
-	if want("f4") {
-		fmt.Fprint(out, experiments.Fig4Table(experiments.Fig4()), "\n")
-		ran = true
+	if *exp == "rnd" && *random == 0 {
+		*random = 50
 	}
-	if want("f5") {
-		fmt.Fprint(out, experiments.Fig5Text(experiments.Fig5()), "\n")
-		ran = true
+	opt := experiments.Options{
+		HPL: experiments.HPLConfig{N: *n, Tasks: *tasks, Nodes: *nodes, Seed: 42},
+		Sweep: experiments.SweepConfig{
+			Seed:    *seed,
+			N:       *random,
+			Workers: *parallel,
+			Scheme:  randgen.DefaultSchemeConfig(),
+		},
 	}
-	if want("f6") {
-		fmt.Fprint(out, experiments.Fig6Table(experiments.Fig6()), "\n")
-		ran = true
-	}
-	if want("f7") {
-		for _, r := range experiments.Fig7() {
-			fmt.Fprint(out, experiments.Fig7Table(r), "\n")
-		}
-		ran = true
-	}
-	if want("f8") {
-		r, err := experiments.Fig8(hplCfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, experiments.HPLText(r, "Figure 8"))
-		ran = true
-	}
-	if want("f9") {
-		r, err := experiments.Fig9(hplCfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, experiments.HPLText(r, "Figure 9"))
-		ran = true
-	}
-	if want("a1") {
-		fmt.Fprint(out, experiments.A1Table(experiments.AblationStaticVsProgressive()), "\n")
-		ran = true
-	}
-	if want("a2") {
-		fmt.Fprint(out, experiments.A2Table(experiments.AblationConflictRule()), "\n")
-		ran = true
-	}
-	if want("a3") {
-		fmt.Fprint(out, experiments.A3Table(experiments.AblationBaselines()), "\n")
-		ran = true
-	}
-	if want("x1") {
-		fmt.Fprint(out, experiments.MulticoreTable(experiments.Multicore()), "\n")
-		ran = true
-	}
-	if !ran {
+	specs, ok := experiments.SelectSpecs(experiments.Specs(opt), *exp)
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	return nil
+	if len(specs) > 1 {
+		// The catalog runner already saturates the pool; let the sweep
+		// parallelize internally only when it runs alone, so -parallel
+		// bounds the total concurrency either way.
+		opt.Sweep.Workers = 1
+		specs, _ = experiments.SelectSpecs(experiments.Specs(opt), *exp)
+	}
+	return (experiments.Runner{Workers: *parallel}).RunSeq(specs, func(o experiments.Outcome) {
+		fmt.Fprint(out, o.Artifact)
+	})
 }

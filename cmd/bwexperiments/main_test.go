@@ -40,6 +40,56 @@ func TestHPLExperimentsSmall(t *testing.T) {
 	}
 }
 
+// TestParallelOutputIdentical runs the whole catalog (small HPL, plus a
+// randomized sweep) serially and with 8 workers: the output must be
+// byte-identical, and fixed seeds must reproduce it exactly.
+func TestParallelOutputIdentical(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, args := range [][]string{
+		{"-parallel", "1", "-seed", "3", "-random", "10", "-n", "2400"},
+		{"-parallel", "8", "-seed", "3", "-random", "10", "-n", "2400"},
+		{"-parallel", "4", "-seed", "3", "-random", "10", "-n", "2400"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		outputs = append(outputs, sb.String())
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatal("output differs across -parallel values")
+	}
+	if !strings.Contains(outputs[0], "EXP-RND") {
+		t.Fatal("randomized sweep missing from catalog run")
+	}
+	// Different seeds must change the sweep rows themselves, not just
+	// the seed echoed in the table title.
+	sweepRows := func(seed string) string {
+		var sb strings.Builder
+		if err := run([]string{"-parallel", "8", "-seed", seed, "-exp", "rnd", "-random", "10"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(sb.String(), "\n", 2)
+		if len(lines) != 2 {
+			t.Fatalf("seed %s: sweep output too short:\n%s", seed, sb.String())
+		}
+		return lines[1]
+	}
+	if sweepRows("3") == sweepRows("4") {
+		t.Fatal("different seeds produced identical sweep rows")
+	}
+}
+
+func TestRandomSweepFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "rnd", "-seed", "9"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "50 schemes x 3 substrates (seed 9)") {
+		t.Fatalf("-exp rnd should default to 50 schemes, got:\n%s", sb.String())
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-exp", "f99"}, &sb); err == nil {

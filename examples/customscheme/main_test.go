@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestBuild exists so `go test ./examples/...` compiles this example:
+// any compilation regression in the example or the public API it uses
+// now fails the test suite instead of going unnoticed.
+func TestBuild(t *testing.T) {
+	_ = main
+}

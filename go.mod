@@ -1,0 +1,3 @@
+module bwshare
+
+go 1.24

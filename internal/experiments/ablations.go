@@ -17,8 +17,8 @@ import (
 )
 
 // A1Result quantifies static vs progressive penalty evaluation (the
-// design choice the paper's simulator makes implicitly; DESIGN.md
-// section 3).
+// design choice the paper's simulator makes implicitly; see the
+// reproduction notes in README.md).
 type A1Result struct {
 	Scheme      string
 	Model       string
@@ -98,7 +98,7 @@ func AblationConflictRule() []A2Result {
 		p := v.m.Penalties(g)
 		exact := len(p) == len(want)
 		for i := range want {
-			if exact && !close(p[i], want[i]) {
+			if exact && !approxEqual(p[i], want[i]) {
 				exact = false
 			}
 		}
@@ -107,7 +107,7 @@ func AblationConflictRule() []A2Result {
 	return out
 }
 
-func close(a, b float64) bool {
+func approxEqual(a, b float64) bool {
 	d := a - b
 	return d < 1e-9 && d > -1e-9
 }

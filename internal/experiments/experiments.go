@@ -1,12 +1,14 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (the EXP-* index of DESIGN.md). Each experiment returns a
-// structured result plus a rendered text artifact, so the same code backs
-// cmd/bwexperiments, the test suite and the benchmark harness.
+// evaluation (the experiment index in README.md). Each experiment
+// returns a structured result plus a rendered text artifact, so the same
+// code backs cmd/bwexperiments, the test suite and the benchmark
+// harness. The Spec/Runner layer executes any subset of experiments over
+// a bounded worker pool with deterministic, order-preserving output.
 //
 // Paper values are embedded alongside our simulated results: our
 // substrates are simulators, so agreement is judged on shape (ordering,
-// ratios, crossovers), except where DESIGN.md records exact-number
-// reproductions (Figure 6, Figure 4's predicted column).
+// ratios, crossovers), except for the exact-number reproductions
+// (Figure 6, Figure 4's predicted column; see README.md).
 package experiments
 
 import (

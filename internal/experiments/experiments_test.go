@@ -9,7 +9,7 @@ import (
 // TestFig2ShapeHolds: for every scheme and network, the substrate
 // reproduces the paper's penalty ordering: communications the paper ranks
 // strictly higher (by >15%) must also rank higher in simulation. One
-// documented exception (DESIGN.md): 802.3x pauses in our GigE substrate
+// documented exception (README.md): 802.3x pauses in our GigE substrate
 // stall the whole sender NIC, so the S5/S6 GigE column cannot split a
 // from b and c the way the paper's hardware does; there the comparison is
 // on the conflict groups {a,b,c} / {d,e} / {f} instead of per pair.
@@ -63,7 +63,7 @@ func TestFig2SingleCommBaseline(t *testing.T) {
 // TestFig4PredictionAccuracy: our model predictions track our substrate
 // within 20% Eabs (the residual is the gamma asymmetry the model carries
 // from real hardware but the symmetric max-min substrate lacks; see
-// EXPERIMENTS.md), and the predicted column reproduces the paper's
+// README.md), and the predicted column reproduces the paper's
 // printed Tp pattern exactly when normalized by Tref.
 func TestFig4PredictionAccuracy(t *testing.T) {
 	r := Fig4()

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bwshare/internal/core"
+	"bwshare/internal/measure"
+	"bwshare/internal/model"
+	"bwshare/internal/netsim/gige"
+	"bwshare/internal/netsim/infiniband"
+	"bwshare/internal/netsim/myrinet"
+	"bwshare/internal/predict"
+	"bwshare/internal/randgen"
+	"bwshare/internal/report"
+	"bwshare/internal/stats"
+)
+
+// SweepConfig parameterizes the randomized scheme sweep (EXP-RND): N
+// seed-generated schemes, each measured on all three substrates and
+// predicted by the matching calibrated model.
+type SweepConfig struct {
+	// Seed drives the scheme generator; the whole sweep result is a
+	// pure function of (Seed, N, Scheme).
+	Seed int64
+	// N is the number of random schemes.
+	N int
+	// Workers bounds the worker pool (<= 0 means runtime.NumCPU()).
+	// It does not affect the result, only the wall clock.
+	Workers int
+	// Scheme bounds the generator; the zero value means
+	// randgen.DefaultSchemeConfig().
+	Scheme randgen.SchemeConfig
+}
+
+// networks lists the sweep's substrate/model pairs in the paper's
+// order. Engines are stateful, so each work item constructs a fresh
+// one via the factory.
+var networks = []struct {
+	name   string
+	engine func() core.Engine
+	model  func() core.Model
+}{
+	{"gige", func() core.Engine { return gige.New(gige.DefaultConfig()) }, func() core.Model { return model.NewGigE() }},
+	{"myrinet", func() core.Engine { return myrinet.New(myrinet.DefaultConfig()) }, func() core.Model { return model.NewMyrinet() }},
+	{"infiniband", func() core.Engine { return infiniband.New(infiniband.DefaultConfig()) }, func() core.Model { return model.NewInfiniBand() }},
+}
+
+// SweepRow is one (scheme, network) cell of the sweep.
+type SweepRow struct {
+	// Scheme is the scheme's index in the generated sequence.
+	Scheme int
+	// Network names the substrate/model pair.
+	Network string
+	// Comms and Nodes describe the generated scheme.
+	Comms, Nodes int
+	// MeanMeasured and MeanPredicted are mean penalties: substrate
+	// measurement vs progressive model prediction at the substrate's
+	// reference rate.
+	MeanMeasured, MeanPredicted float64
+	// Eabs is the mean absolute relative error of predicted vs
+	// measured times, in percent.
+	Eabs float64
+}
+
+// SweepResult is the whole randomized sweep.
+type SweepResult struct {
+	Cfg SweepConfig
+	// Rows are ordered scheme-major, network-minor (scheme 0 on GigE,
+	// Myrinet, InfiniBand; then scheme 1; ...).
+	Rows []SweepRow
+	// MeanEabs and MaxEabs aggregate Eabs per network, keyed by
+	// network name.
+	MeanEabs, MaxEabs map[string]float64
+}
+
+// RandomSweep generates cfg.N random schemes and runs every (scheme,
+// network) pair over the worker pool: each pair measures the scheme on
+// a fresh substrate engine and predicts it with the matching model
+// (progressive evaluation at the substrate's reference rate). Results
+// are deterministic for a given seed regardless of cfg.Workers.
+func RandomSweep(cfg SweepConfig) (SweepResult, error) {
+	if cfg.N < 1 {
+		return SweepResult{}, fmt.Errorf("experiments: sweep needs N >= 1, got %d", cfg.N)
+	}
+	if cfg.Scheme == (randgen.SchemeConfig{}) {
+		cfg.Scheme = randgen.DefaultSchemeConfig()
+	}
+	gs, err := randgen.Schemes(cfg.Seed, cfg.N, cfg.Scheme)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	rows := parallelMap(cfg.Workers, len(gs)*len(networks), func(i int) SweepRow {
+		g := gs[i/len(networks)]
+		net := networks[i%len(networks)]
+		meas := measure.Run(net.engine(), g)
+		pred := predict.Times(g, net.model(), meas.RefRate)
+		predPen := make([]float64, g.Len())
+		for _, c := range g.Comms() {
+			predPen[c.ID] = pred[c.ID] / (c.Volume / meas.RefRate)
+		}
+		return SweepRow{
+			Scheme:        i / len(networks),
+			Network:       net.name,
+			Comms:         g.Len(),
+			Nodes:         len(g.Nodes()),
+			MeanMeasured:  stats.Mean(meas.Penalties),
+			MeanPredicted: stats.Mean(predPen),
+			Eabs:          stats.AbsErr(pred, meas.Times),
+		}
+	})
+	res := SweepResult{
+		Cfg:      cfg,
+		Rows:     rows,
+		MeanEabs: make(map[string]float64, len(networks)),
+		MaxEabs:  make(map[string]float64, len(networks)),
+	}
+	for _, net := range networks {
+		var sum, max float64
+		var n int
+		for _, r := range rows {
+			if r.Network != net.name {
+				continue
+			}
+			sum += r.Eabs
+			n++
+			if r.Eabs > max {
+				max = r.Eabs
+			}
+		}
+		res.MeanEabs[net.name] = sum / float64(n)
+		res.MaxEabs[net.name] = max
+	}
+	return res, nil
+}
+
+// SweepTable renders the sweep with its per-network summary.
+func SweepTable(r SweepResult) string {
+	t := report.Table{
+		Title: fmt.Sprintf("EXP-RND - randomized sweep: %d schemes x 3 substrates (seed %d)",
+			r.Cfg.N, r.Cfg.Seed),
+		Header: []string{"scheme", "network", "comms", "nodes", "mean Pm", "mean Pp", "Eabs [%]"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("r%d", row.Scheme), row.Network,
+			fmt.Sprint(row.Comms), fmt.Sprint(row.Nodes),
+			fmt.Sprintf("%.3f", row.MeanMeasured),
+			fmt.Sprintf("%.3f", row.MeanPredicted),
+			fmt.Sprintf("%.1f", row.Eabs))
+	}
+	s := t.String()
+	for _, net := range networks {
+		s += fmt.Sprintf("  %-10s mean Eabs = %5.1f%%   max Eabs = %5.1f%%\n",
+			net.name, r.MeanEabs[net.name], r.MaxEabs[net.name])
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import "strings"
+
+// Options parameterizes the experiment catalog.
+type Options struct {
+	// HPL configures the Figure 8/9 replays.
+	HPL HPLConfig
+	// Sweep configures the randomized sweep; Sweep.N == 0 omits it
+	// from the catalog.
+	Sweep SweepConfig
+}
+
+// DefaultOptions returns the paper's configuration with no randomized
+// sweep.
+func DefaultOptions() Options {
+	return Options{HPL: DefaultHPL()}
+}
+
+// Specs returns the full experiment catalog under opt, in the paper's
+// presentation order. Every Run closure builds its own engines, so the
+// returned specs are safe to execute concurrently via Runner.
+func Specs(opt Options) []Spec {
+	specs := []Spec{
+		{ID: "f2", Title: "Figure 2 - penalties of S1..S6 on three substrates", Run: func() (string, error) {
+			return Fig2Table(Fig2()), nil
+		}},
+		{ID: "f4", Title: "Figure 4 - GigE parameter verification", Run: func() (string, error) {
+			return Fig4Table(Fig4()) + "\n", nil
+		}},
+		{ID: "f5", Title: "Figure 5 - Myrinet state sets", Run: func() (string, error) {
+			return Fig5Text(Fig5()) + "\n", nil
+		}},
+		{ID: "f6", Title: "Figure 6 - Myrinet penalty calculation", Run: func() (string, error) {
+			return Fig6Table(Fig6()) + "\n", nil
+		}},
+		{ID: "f7", Title: "Figure 7 - Myrinet model accuracy on MK1/MK2", Run: func() (string, error) {
+			var sb strings.Builder
+			for _, r := range Fig7() {
+				sb.WriteString(Fig7Table(r))
+				sb.WriteString("\n")
+			}
+			return sb.String(), nil
+		}},
+		{ID: "f8", Title: "Figure 8 - HPL replay on GigE", Run: func() (string, error) {
+			r, err := Fig8(opt.HPL)
+			if err != nil {
+				return "", err
+			}
+			return HPLText(r, "Figure 8"), nil
+		}},
+		{ID: "f9", Title: "Figure 9 - HPL replay on Myrinet", Run: func() (string, error) {
+			r, err := Fig9(opt.HPL)
+			if err != nil {
+				return "", err
+			}
+			return HPLText(r, "Figure 9"), nil
+		}},
+		{ID: "a1", Title: "EXP-A1 - static vs progressive evaluation", Run: func() (string, error) {
+			return A1Table(AblationStaticVsProgressive()) + "\n", nil
+		}},
+		{ID: "a2", Title: "EXP-A2 - Myrinet conflict-rule ablation", Run: func() (string, error) {
+			return A2Table(AblationConflictRule()) + "\n", nil
+		}},
+		{ID: "a3", Title: "EXP-A3 - baseline model comparison", Run: func() (string, error) {
+			return A3Table(AblationBaselines()) + "\n", nil
+		}},
+		{ID: "x1", Title: "EXP-X1 - many-core conflict degrees", Run: func() (string, error) {
+			return MulticoreTable(Multicore()) + "\n", nil
+		}},
+	}
+	if opt.Sweep.N > 0 {
+		sweep := opt.Sweep
+		specs = append(specs, Spec{
+			ID:    "rnd",
+			Title: "EXP-RND - randomized scheme sweep",
+			Run: func() (string, error) {
+				r, err := RandomSweep(sweep)
+				if err != nil {
+					return "", err
+				}
+				return SweepTable(r) + "\n", nil
+			},
+		})
+	}
+	return specs
+}
+
+// SelectSpecs filters the catalog by id; the empty string or "all"
+// selects everything. It reports whether anything matched.
+func SelectSpecs(specs []Spec, id string) ([]Spec, bool) {
+	if id == "" || id == "all" {
+		return specs, true
+	}
+	var out []Spec
+	for _, s := range specs {
+		if s.ID == id {
+			out = append(out, s)
+		}
+	}
+	return out, len(out) > 0
+}

