@@ -2,7 +2,7 @@
 # canonical gate: go build ./... && go test ./...
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -15,5 +15,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-json writes the next perf-trajectory snapshot BENCH_<n>.json via
+# cmd/bwbench (full suite; go-bench lines stream to stdout; n is one past
+# the highest existing snapshot, or PR=<n> to force). Compare snapshots
+# across PRs, or pipe repeated runs into benchstat.
+bench-json:
+	$(GO) run ./cmd/bwbench $(if $(PR),-pr $(PR))
 
 verify: build test

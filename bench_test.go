@@ -9,6 +9,7 @@ package bwshare
 import (
 	"testing"
 
+	"bwshare/internal/benchsuite"
 	"bwshare/internal/experiments"
 	"bwshare/internal/graph"
 	"bwshare/internal/measure"
@@ -138,6 +139,16 @@ func BenchmarkBaselines(b *testing.B) {
 }
 
 // --- micro-benchmarks of the hot paths ---
+
+// BenchmarkSuite runs the canonical hot-path suite shared with
+// cmd/bwbench (optimized vs reference allocators, substrates, EXP-RND
+// sweep), so `go test -bench Suite` and the committed BENCH_<n>.json
+// snapshots measure the same code.
+func BenchmarkSuite(b *testing.B) {
+	for _, bm := range benchsuite.Suite() {
+		b.Run(bm.Name, bm.F)
+	}
+}
 
 // BenchmarkPenaltiesGigE measures the degree model on the K5 graph.
 func BenchmarkPenaltiesGigE(b *testing.B) {

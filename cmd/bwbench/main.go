@@ -1,0 +1,142 @@
+// Command bwbench runs the canonical hot-path benchmark suite
+// (internal/benchsuite) and writes a machine-readable perf snapshot,
+// giving every PR a benchmark trajectory to compare against.
+//
+// Output is a JSON file (BENCH_<pr>.json by default):
+//
+//	{
+//	  "schema": "bwshare-bench/v1",
+//	  "pr": 2,
+//	  "go": "go1.24.0", "goos": "linux", "goarch": "amd64",
+//	  "benchmarks": [
+//	    {"name": "WaterFill/opt/32", "n": 123, "ns_per_op": 4567.8,
+//	     "bytes_per_op": 0, "allocs_per_op": 0},
+//	    ...
+//	  ]
+//	}
+//
+// While running, standard Go benchmark lines are printed to stdout
+// ("BenchmarkX-8  N  ns/op  B/op  allocs/op"), so piping a few runs into
+// benchstat works exactly like `go test -bench`.
+//
+// Usage:
+//
+//	bwbench                          # full suite -> next free BENCH_<n>.json
+//	bwbench -pr 3                    # -> BENCH_3.json (overwrites)
+//	bwbench -out /tmp/b.json         # explicit path
+//	bwbench -filter 'WaterFill'      # subset by regexp
+//	bwbench -list                    # print benchmark names and exit
+//
+// Without -pr, the snapshot number is one past the highest committed
+// BENCH_<n>.json, so a plain run never overwrites an earlier PR's
+// trajectory point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"bwshare/internal/benchsuite"
+)
+
+// snapshot is the BENCH_<n>.json document.
+type snapshot struct {
+	Schema     string              `json:"schema"`
+	PR         int                 `json:"pr"`
+	Go         string              `json:"go"`
+	GOOS       string              `json:"goos"`
+	GOARCH     string              `json:"goarch"`
+	Benchmarks []benchsuite.Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bwbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	pr := fs.Int("pr", 0, "PR number, names the output file BENCH_<pr>.json (0 = one past the highest existing snapshot)")
+	outPath := fs.String("out", "", "output path (default BENCH_<pr>.json)")
+	filter := fs.String("filter", "", "regexp selecting a benchmark subset")
+	list := fs.Bool("list", false, "list benchmark names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, bm := range benchsuite.Suite() {
+			fmt.Fprintln(out, bm.Name)
+		}
+		return nil
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	if *pr == 0 {
+		*pr = nextPR(".")
+	}
+	path := *outPath
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", *pr)
+	}
+	results, err := benchsuite.Run(re, func(r benchsuite.Result) {
+		// go-test-style line: benchstat-compatible.
+		fmt.Fprintf(out, "Benchmark%s-%d\t%d\t%.1f ns/op\t%d B/op\t%d allocs/op\n",
+			r.Name, runtime.GOMAXPROCS(0), r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	})
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark matches filter %q", *filter)
+	}
+	snap := snapshot{
+		Schema:     "bwshare-bench/v1",
+		PR:         *pr,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", path, len(results))
+	return nil
+}
+
+// nextPR returns one past the highest BENCH_<n>.json in dir, so an
+// unnumbered run extends the trajectory instead of overwriting an
+// earlier snapshot. An empty dir starts at 1.
+func nextPR(dir string) int {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	high := 0
+	for _, m := range matches {
+		base := filepath.Base(m)
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json"))
+		if err == nil && n > high {
+			high = n
+		}
+	}
+	return high + 1
+}

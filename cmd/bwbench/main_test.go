@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsSuite(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WaterFill/opt/32", "CoupledAllocator/ref/gige/32", "Sweep/exp-rnd/8"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNextPR(t *testing.T) {
+	dir := t.TempDir()
+	if got := nextPR(dir); got != 1 {
+		t.Errorf("empty dir: nextPR = %d, want 1", got)
+	}
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nextPR(dir); got != 11 {
+		t.Errorf("nextPR = %d, want 11 (one past BENCH_10.json)", got)
+	}
+}
+
+func TestBadFilter(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-filter", "("}, &out); err == nil {
+		t.Fatal("want error for invalid regexp")
+	}
+	if err := run([]string{"-filter", "no-such-benchmark"}, &out); err == nil {
+		t.Fatal("want error when nothing matches")
+	}
+}
+
+// TestWritesSnapshot runs the cheapest benchmark and checks the JSON
+// document shape.
+func TestWritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-filter", "^WaterFill/opt/32$", "-out", path, "-pr", "42"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkWaterFill/opt/32") {
+		t.Errorf("missing go-bench progress line:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != "bwshare-bench/v1" || snap.PR != 42 || len(snap.Benchmarks) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "WaterFill/opt/32" || b.N <= 0 || b.NsPerOp <= 0 {
+		t.Fatalf("benchmark result = %+v", b)
+	}
+	if !raceEnabled && b.AllocsPerOp != 0 {
+		t.Errorf("steady-state WaterFill allocs/op = %d, want 0", b.AllocsPerOp)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// intentionally drops items under -race, so pool-backed zero-allocation
+// assertions only hold in normal builds.
+const raceEnabled = false

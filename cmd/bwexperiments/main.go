@@ -13,6 +13,7 @@
 //	bwexperiments -exp f8 -n 10000    # smaller HPL replay
 //	bwexperiments -random 50 -seed 7  # add a 50-scheme randomized sweep
 //	bwexperiments -parallel 1         # serial execution (same output)
+//	bwexperiments -cpuprofile cpu.pb.gz -memprofile mem.pb.gz  # pprof a sweep
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"bwshare/internal/experiments"
 	"bwshare/internal/randgen"
@@ -41,8 +44,35 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = NumCPU); does not change output")
 	seed := fs.Int64("seed", 1, "seed for the randomized sweep")
 	random := fs.Int("random", 0, "number of random schemes in the rnd sweep (0 disables it)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bwexperiments: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile the live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bwexperiments: -memprofile:", err)
+			}
+		}()
 	}
 	if *random < 0 {
 		return fmt.Errorf("-random must be >= 0, got %d", *random)

@@ -1,0 +1,191 @@
+// Package benchsuite defines the canonical hot-path benchmark suite
+// shared by `go test -bench` (bench_test.go at the repo root) and the
+// cmd/bwbench perf-trajectory harness. Keeping one definition means the
+// JSON snapshots committed per PR (BENCH_<n>.json) measure exactly what
+// the test benchmarks measure.
+//
+// The suite pairs every optimized allocator benchmark with its retained
+// reference implementation, so a snapshot directly shows the speedup and
+// the allocation profile of the dense core against the map-based oracle.
+package benchsuite
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"bwshare/internal/core"
+	"bwshare/internal/experiments"
+	"bwshare/internal/graph"
+	"bwshare/internal/measure"
+	"bwshare/internal/netsim"
+	"bwshare/internal/netsim/gige"
+	"bwshare/internal/netsim/infiniband"
+	"bwshare/internal/netsim/myrinet"
+	"bwshare/internal/randgen"
+	"bwshare/internal/schemes"
+)
+
+// Benchmark is one named benchmark function.
+type Benchmark struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Result is the measured outcome of one benchmark, the unit of the
+// BENCH_<n>.json trajectory files.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchSeed fixes the random scheme used by the allocator benchmarks.
+const benchSeed = 7
+
+// BenchFlowsN is the flow count of the allocator benchmarks (the PR-2
+// acceptance criterion is stated on a 32-flow random scheme).
+const BenchFlowsN = 32
+
+// randomScheme32 draws the fixed 32-communication scheme on 16 nodes
+// used by the allocator micro-benchmarks.
+func randomScheme32() *graph.Graph {
+	g, err := randgen.SchemeFromSeed(benchSeed, randgen.SchemeConfig{
+		MinNodes: 16, MaxNodes: 16,
+		MinComms: BenchFlowsN, MaxComms: BenchFlowsN,
+		MaxOut: 4, MaxIn: 4,
+		MinVolume: 1e6, MaxVolume: 20e6,
+	})
+	if err != nil {
+		panic("benchsuite: " + err.Error())
+	}
+	if g.Len() != BenchFlowsN {
+		panic(fmt.Sprintf("benchsuite: degree caps truncated the bench scheme to %d comms", g.Len()))
+	}
+	return g
+}
+
+func schemeFlows(g *graph.Graph) []*netsim.Flow {
+	flows := make([]*netsim.Flow, g.Len())
+	for _, c := range g.Comms() {
+		flows[c.ID] = &netsim.Flow{ID: int(c.ID), Src: c.Src, Dst: c.Dst, Remaining: c.Volume}
+	}
+	return flows
+}
+
+// allocBench benchmarks one Allocator over the fixed 32-flow scheme.
+func allocBench(mk func() netsim.Allocator) func(b *testing.B) {
+	return func(b *testing.B) {
+		flows := schemeFlows(randomScheme32())
+		alloc := mk()
+		alloc.Allocate(flows) // warm scratch so steady state is measured
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			alloc.Allocate(flows)
+		}
+	}
+}
+
+// engineBench benchmarks a full measure.Run (start all flows, run the
+// engine dry) on one engine and scheme, engine reused across iterations
+// so the pooled steady state is what gets measured.
+func engineBench(mkEngine func() core.Engine, g *graph.Graph) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := mkEngine()
+		want := g.Len()
+		measure.Run(e, g) // warm engine pools
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := measure.Run(e, g); len(r.Times) != want {
+				b.Fatal("bad run")
+			}
+		}
+	}
+}
+
+// waterFillAllocator adapts the optimized WaterFill to the Allocator
+// interface with GigE-scale capacities (so both WaterFill benchmarks
+// exercise realistic magnitudes).
+type waterFillAllocator struct{}
+
+func (waterFillAllocator) Allocate(flows []*netsim.Flow) {
+	netsim.WaterFill(flows, 0.75*125e6, nil, nil, 125e6, 125e6)
+}
+
+// referenceWaterFillAllocator is the retained map-based counterpart.
+type referenceWaterFillAllocator struct{}
+
+func (referenceWaterFillAllocator) Allocate(flows []*netsim.Flow) {
+	netsim.ReferenceWaterFill(flows, 0.75*125e6, nil, nil, 125e6, 125e6)
+}
+
+// Suite returns the canonical benchmark list in presentation order.
+func Suite() []Benchmark {
+	gigeCfg := gige.DefaultConfig().Coupled()
+	ibCfg := infiniband.DefaultConfig().Coupled()
+	s6 := schemes.Fig2(6)
+	rand32 := randomScheme32()
+	return []Benchmark{
+		// Dense optimized allocators vs retained references, 32-flow
+		// random scheme (the PR-2 acceptance pair).
+		{"WaterFill/opt/32", allocBench(func() netsim.Allocator { return waterFillAllocator{} })},
+		{"WaterFill/ref/32", allocBench(func() netsim.Allocator { return referenceWaterFillAllocator{} })},
+		{"CoupledAllocator/opt/gige/32", allocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: gigeCfg} })},
+		{"CoupledAllocator/ref/gige/32", allocBench(func() netsim.Allocator { return &netsim.ReferenceAllocator{Cfg: gigeCfg} })},
+		{"CoupledAllocator/opt/infiniband/32", allocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: ibCfg} })},
+		{"CoupledAllocator/ref/infiniband/32", allocBench(func() netsim.Allocator { return &netsim.ReferenceAllocator{Cfg: ibCfg} })},
+		// Whole-substrate runs: fluid engines on the S6 scheme and the
+		// 32-flow random scheme, and the packet-level Myrinet engine.
+		{"Substrate/gige/S6", engineBench(func() core.Engine { return gige.New(gige.DefaultConfig()) }, s6)},
+		{"Substrate/gige/rand32", engineBench(func() core.Engine { return gige.New(gige.DefaultConfig()) }, rand32)},
+		{"Substrate/infiniband/rand32", engineBench(func() core.Engine { return infiniband.New(infiniband.DefaultConfig()) }, rand32)},
+		{"Substrate/myrinet/S6", engineBench(func() core.Engine { return myrinet.New(myrinet.DefaultConfig()) }, s6)},
+		// End-to-end randomized sweep (EXP-RND), serial workers so the
+		// number is comparable across machines.
+		{"Sweep/exp-rnd/8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RandomSweep(experiments.SweepConfig{Seed: 1, N: 8, Workers: 1})
+				if err != nil || len(r.Rows) != 24 {
+					b.Fatalf("sweep: rows=%d err=%v", len(r.Rows), err)
+				}
+			}
+		}},
+	}
+}
+
+// Run executes every suite benchmark whose name matches filter (nil
+// means all) via testing.Benchmark and returns the results in suite
+// order. emit, if non-nil, is called after each benchmark completes —
+// cmd/bwbench uses it to stream progress. A benchmark that fails
+// internally (b.Fatal/b.Error) is reported by name: testing.Benchmark
+// swallows the failure message and returns a zero result, so N == 0 is
+// the only failure signal available.
+func Run(filter *regexp.Regexp, emit func(Result)) ([]Result, error) {
+	var out []Result
+	for _, bm := range Suite() {
+		if filter != nil && !filter.MatchString(bm.Name) {
+			continue
+		}
+		r := testing.Benchmark(bm.F)
+		if r.N == 0 {
+			return out, fmt.Errorf("benchmark %s failed (testing.Benchmark returned no iterations)", bm.Name)
+		}
+		res := Result{
+			Name:        bm.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if emit != nil {
+			emit(res)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -5,25 +5,50 @@
 // driver. Determinism matters: the paper's evaluation compares measured
 // and predicted times, and flaky substrates would make relative errors
 // unstable; ties are broken by insertion sequence number.
+//
+// Event structs are pooled inside the queue: a fired or canceled event
+// goes to a free list and is reused by the next Schedule, so long traces
+// (millions of packet events) do not churn the garbage collector.
+// Handles carry a generation number, which makes Cancel on a stale
+// handle a safe no-op even after the underlying struct was reused.
 package des
 
 import "container/heap"
 
-// Event is a scheduled callback.
+// Runner is a scheduled callback with a receiver, the allocation-free
+// alternative to a closure: callers can pool the implementing struct.
+type Runner interface {
+	Run()
+}
+
+// Event is one pending queue entry. It is owned by the queue and only
+// reachable through a Handle.
 type Event struct {
-	Time float64
-	Fn   func()
+	time float64
+	fn   func()
+	run  Runner
 
 	seq   uint64
 	index int
 	fired bool
+	gen   uint64
+}
+
+// Handle identifies a scheduled event for Cancel. The zero Handle is
+// valid and cancels nothing. A handle whose event already fired, was
+// canceled, or was recycled for a newer event is detected by generation
+// and ignored.
+type Handle struct {
+	ev  *Event
+	gen uint64
 }
 
 // Queue is a deterministic event queue. The zero value is ready to use.
 type Queue struct {
-	h   eventHeap
-	seq uint64
-	now float64
+	h    eventHeap
+	seq  uint64
+	now  float64
+	free []*Event
 }
 
 // Now returns the current simulation time (the time of the last event
@@ -33,27 +58,75 @@ func (q *Queue) Now() float64 { return q.now }
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
-// Schedule enqueues fn to run at time t and returns the event handle,
-// which can be passed to Cancel. Scheduling in the past (t < Now) panics:
-// it always indicates a simulator bug.
-func (q *Queue) Schedule(t float64, fn func()) *Event {
+// Reset empties the queue and rewinds the clock to zero, keeping the
+// event free list so a reused queue stays allocation-free.
+func (q *Queue) Reset() {
+	for _, ev := range q.h {
+		q.recycle(ev)
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+	q.now = 0
+}
+
+// get returns a fresh or recycled event initialized for time t.
+func (q *Queue) get(t float64) *Event {
 	if t < q.now {
 		panic("des: scheduling into the past")
 	}
-	ev := &Event{Time: t, Fn: fn, seq: q.seq}
+	var ev *Event
+	if n := len(q.free); n > 0 {
+		ev = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		ev = new(Event)
+	}
+	ev.time = t
+	ev.fired = false
+	ev.seq = q.seq
 	q.seq++
-	heap.Push(&q.h, ev)
 	return ev
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (q *Queue) Cancel(ev *Event) {
-	if ev == nil || ev.fired || ev.index < 0 {
+// recycle invalidates outstanding handles and returns ev to the free
+// list.
+func (q *Queue) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.run = nil
+	ev.index = -1
+	q.free = append(q.free, ev)
+}
+
+// Schedule enqueues fn to run at time t and returns a cancellation
+// handle. Scheduling in the past (t < Now) panics: it always indicates a
+// simulator bug.
+func (q *Queue) Schedule(t float64, fn func()) Handle {
+	ev := q.get(t)
+	ev.fn = fn
+	heap.Push(&q.h, ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// ScheduleRunner is Schedule for a Runner callback. It exists so hot
+// paths can pool their callback state instead of allocating a closure
+// per event.
+func (q *Queue) ScheduleRunner(t float64, r Runner) Handle {
+	ev := q.get(t)
+	ev.run = r
+	heap.Push(&q.h, ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// Cancel removes a pending event. Canceling the zero Handle, an
+// already-fired, already-canceled or recycled event is a no-op.
+func (q *Queue) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.fired || ev.index < 0 {
 		return
 	}
 	heap.Remove(&q.h, ev.index)
-	ev.index = -1
+	q.recycle(ev)
 }
 
 // PeekTime returns the time of the next event.
@@ -61,7 +134,7 @@ func (q *Queue) PeekTime() (float64, bool) {
 	if len(q.h) == 0 {
 		return 0, false
 	}
-	return q.h[0].Time, true
+	return q.h[0].time, true
 }
 
 // Step dispatches the next event and returns its time. ok is false when
@@ -73,9 +146,19 @@ func (q *Queue) Step() (t float64, ok bool) {
 	ev := heap.Pop(&q.h).(*Event)
 	ev.fired = true
 	ev.index = -1
-	q.now = ev.Time
-	ev.Fn()
-	return ev.Time, true
+	q.now = ev.time
+	t = ev.time
+	fn, run := ev.fn, ev.run
+	// Recycle before dispatch: the callback may Schedule, and reusing
+	// this struct immediately keeps the free list tight. The handle is
+	// invalidated by the generation bump, and fn/run were captured.
+	q.recycle(ev)
+	if fn != nil {
+		fn()
+	} else if run != nil {
+		run.Run()
+	}
+	return t, true
 }
 
 // RunUntil dispatches events with time <= t, then sets the clock to t.
@@ -106,8 +189,8 @@ type eventHeap []*Event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }

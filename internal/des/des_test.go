@@ -43,8 +43,8 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	q.Cancel(ev) // double cancel is a no-op
-	q.Cancel(nil)
+	q.Cancel(ev)       // double cancel is a no-op
+	q.Cancel(Handle{}) // zero handle is a no-op
 }
 
 func TestCancelAfterFire(t *testing.T) {
@@ -52,6 +52,77 @@ func TestCancelAfterFire(t *testing.T) {
 	ev := q.Schedule(1.0, func() {})
 	q.Drain()
 	q.Cancel(ev) // no-op, no panic
+}
+
+// TestStaleHandleAfterReuse: event structs are pooled, so a handle to a
+// fired event must not cancel the unrelated event that reused its struct.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	var q Queue
+	stale := q.Schedule(1.0, func() {})
+	q.Drain() // fires and recycles the struct
+	fired := false
+	q.Schedule(2.0, func() { fired = true }) // reuses the recycled struct
+	q.Cancel(stale)                          // must be a no-op
+	q.Drain()
+	if !fired {
+		t.Fatal("stale handle canceled a reused event")
+	}
+}
+
+// TestStaleHandleAfterCancelReuse: same as above for a canceled event.
+func TestStaleHandleAfterCancelReuse(t *testing.T) {
+	var q Queue
+	stale := q.Schedule(1.0, func() { t.Fatal("canceled event fired") })
+	q.Cancel(stale)
+	fired := false
+	q.Schedule(2.0, func() { fired = true })
+	q.Cancel(stale) // stale: struct now belongs to the new event
+	q.Drain()
+	if !fired {
+		t.Fatal("stale handle canceled a reused event")
+	}
+}
+
+type countRunner struct{ n *int }
+
+func (r *countRunner) Run() { *r.n++ }
+
+// TestScheduleRunner: Runner callbacks dispatch like closures and
+// interleave with them deterministically.
+func TestScheduleRunner(t *testing.T) {
+	var q Queue
+	n := 0
+	r := &countRunner{n: &n}
+	q.ScheduleRunner(1.0, r)
+	q.ScheduleRunner(3.0, r)
+	q.Schedule(2.0, func() {
+		if n != 1 {
+			t.Fatalf("closure at t=2 saw %d runner calls, want 1", n)
+		}
+	})
+	q.Drain()
+	if n != 2 {
+		t.Fatalf("runner ran %d times, want 2", n)
+	}
+}
+
+// TestQueueReset: Reset rewinds the clock, drops pending events and
+// keeps the queue usable.
+func TestQueueReset(t *testing.T) {
+	var q Queue
+	q.Schedule(1.0, func() {})
+	q.Drain()
+	q.Schedule(5.0, func() { t.Fatal("event survived Reset") })
+	q.Reset()
+	if q.Now() != 0 || q.Len() != 0 {
+		t.Fatalf("after Reset: now=%g len=%d", q.Now(), q.Len())
+	}
+	fired := false
+	q.Schedule(1.0, func() { fired = true }) // in the past of the pre-Reset clock
+	q.Drain()
+	if !fired {
+		t.Fatal("event scheduled after Reset did not fire")
+	}
 }
 
 func TestRunUntil(t *testing.T) {

@@ -102,7 +102,7 @@ func RandomSweep(cfg SweepConfig) (SweepResult, error) {
 			Scheme:        i / len(networks),
 			Network:       net.name,
 			Comms:         g.Len(),
-			Nodes:         len(g.Nodes()),
+			Nodes:         g.NumNodes(),
 			MeanMeasured:  stats.Mean(meas.Penalties),
 			MeanPredicted: stats.Mean(predPen),
 			Eabs:          stats.AbsErr(pred, meas.Times),

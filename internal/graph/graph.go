@@ -31,6 +31,8 @@ type Comm struct {
 // Graph is an immutable-after-build communication scheme.
 type Graph struct {
 	comms   []Comm
+	nodes   []NodeID // sorted endpoint set, computed once at Build
+	maxNode NodeID   // largest endpoint id, -1 when empty
 	outDeg  map[NodeID]int
 	inDeg   map[NodeID]int
 	byLabel map[string]CommID
@@ -87,15 +89,30 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g := &Graph{
 		comms:   append([]Comm(nil), b.comms...),
+		maxNode: -1,
 		outDeg:  make(map[NodeID]int),
 		inDeg:   make(map[NodeID]int),
 		byLabel: make(map[string]CommID, len(b.comms)),
 	}
+	set := make(map[NodeID]bool, 2*len(g.comms))
 	for _, c := range g.comms {
 		g.outDeg[c.Src]++
 		g.inDeg[c.Dst]++
 		g.byLabel[c.Label] = c.ID
+		set[c.Src] = true
+		set[c.Dst] = true
+		if c.Src > g.maxNode {
+			g.maxNode = c.Src
+		}
+		if c.Dst > g.maxNode {
+			g.maxNode = c.Dst
+		}
 	}
+	g.nodes = make([]NodeID, 0, len(set))
+	for n := range set {
+		g.nodes = append(g.nodes, n)
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
 	return g, nil
 }
 
@@ -132,20 +149,19 @@ func (g *Graph) OutDegree(n NodeID) int { return g.outDeg[n] }
 // InDegree returns Δi(n): the number of communications entering node n.
 func (g *Graph) InDegree(n NodeID) int { return g.inDeg[n] }
 
-// Nodes returns the sorted set of nodes that appear as an endpoint.
+// Nodes returns the sorted set of nodes that appear as an endpoint. The
+// set is computed once at Build; callers get a copy.
 func (g *Graph) Nodes() []NodeID {
-	set := make(map[NodeID]bool)
-	for _, c := range g.comms {
-		set[c.Src] = true
-		set[c.Dst] = true
-	}
-	out := make([]NodeID, 0, len(set))
-	for n := range set {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]NodeID(nil), g.nodes...)
 }
+
+// NumNodes returns the number of distinct endpoint nodes without
+// allocating.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// MaxNode returns the largest node id appearing as an endpoint, or -1
+// for an empty scheme. Dense per-node state can be sized from it.
+func (g *Graph) MaxNode() NodeID { return g.maxNode }
 
 // Sources returns the ids of communications whose source is n, in id order.
 func (g *Graph) Sources(n NodeID) []CommID {

@@ -1,0 +1,188 @@
+package netsim
+
+import "math"
+
+// Dense scratch state for the allocation core. graph.NodeID values are
+// small cluster indices, so per-node state lives in flat slices indexed by
+// an interned slot instead of maps. All buffers are reused across epochs
+// (one epoch per Allocate call): the interner invalidates old slots with
+// an epoch stamp instead of clearing, so a steady-state allocation does
+// zero heap allocation.
+
+// maxDenseNode bounds the node ids the dense path will intern. Schemes
+// use cluster node indices (tens to thousands); anything larger falls
+// back to the map-based reference implementation rather than allocating
+// a huge stamp table.
+const maxDenseNode = 1 << 22
+
+// denseOK reports whether every endpoint of flows is eligible for the
+// dense slot tables.
+func denseOK(flows []*Flow) bool {
+	for _, f := range flows {
+		if f.Src < 0 || f.Dst < 0 || int(f.Src) >= maxDenseNode || int(f.Dst) >= maxDenseNode {
+			return false
+		}
+	}
+	return true
+}
+
+// interner assigns dense slots 0,1,2,... to the distinct node ids seen
+// during one epoch. Slots are issued in first-seen order, which matches
+// the first-visit order of the reference implementation's maps.
+type interner struct {
+	slot  []int32
+	stamp []uint64
+	epoch uint64
+	n     int32 // slots issued this epoch
+}
+
+func (it *interner) begin() {
+	it.epoch++
+	it.n = 0
+}
+
+// intern returns the slot for node id v, issuing a fresh one on first
+// sight this epoch.
+func (it *interner) intern(v int) (slot int32, fresh bool) {
+	if v >= len(it.slot) {
+		n := v + 1
+		if n < 2*len(it.slot) {
+			n = 2 * len(it.slot)
+		}
+		ns := make([]int32, n)
+		copy(ns, it.slot)
+		it.slot = ns
+		nst := make([]uint64, n)
+		copy(nst, it.stamp)
+		it.stamp = nst
+	}
+	if it.stamp[v] != it.epoch {
+		it.stamp[v] = it.epoch
+		it.slot[v] = it.n
+		it.n++
+		return it.slot[v], true
+	}
+	return it.slot[v], false
+}
+
+// denseFill is the slice-backed progressive-filling state: per-flow
+// interned endpoint slots plus per-slot capacities and unfrozen counts.
+type denseFill struct {
+	sidx, ridx []int32 // per flow: sender / receiver slot
+
+	sndLeft, sndOrig []float64
+	sndCount         []int32
+	rcvLeft, rcvOrig []float64
+	rcvCount         []int32
+
+	frozen []bool
+}
+
+// reset empties the per-epoch state, keeping capacity.
+func (d *denseFill) reset() {
+	d.sidx = d.sidx[:0]
+	d.ridx = d.ridx[:0]
+	d.sndLeft = d.sndLeft[:0]
+	d.sndOrig = d.sndOrig[:0]
+	d.sndCount = d.sndCount[:0]
+	d.rcvLeft = d.rcvLeft[:0]
+	d.rcvOrig = d.rcvOrig[:0]
+	d.rcvCount = d.rcvCount[:0]
+	d.frozen = d.frozen[:0]
+}
+
+// run executes progressive filling over the prepared dense state. It is a
+// line-for-line transliteration of referenceWaterFill's rounds — same
+// loop order, same floating-point operations — so rates are bit-identical
+// to the reference. sndCount/rcvCount must hold the number of flows per
+// slot on entry; they are consumed (decremented as flows freeze).
+func (d *denseFill) run(flows []*Flow, flowCap float64) {
+	const relEps = 1e-9
+	for _, f := range flows {
+		f.Rate = 0
+	}
+	for range flows {
+		d.frozen = append(d.frozen, false)
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		// Smallest headroom over all constraints touching unfrozen flows.
+		inc := math.Inf(1)
+		for i, f := range flows {
+			if d.frozen[i] {
+				continue
+			}
+			if h := flowCap - f.Rate; h < inc {
+				inc = h
+			}
+			if si := d.sidx[i]; d.sndCount[si] > 0 {
+				if h := d.sndLeft[si] / float64(d.sndCount[si]); h < inc {
+					inc = h
+				}
+			}
+			if ri := d.ridx[i]; d.rcvCount[ri] > 0 {
+				if h := d.rcvLeft[ri] / float64(d.rcvCount[ri]); h < inc {
+					inc = h
+				}
+			}
+		}
+		if math.IsInf(inc, 1) {
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Apply the increment.
+		for i, f := range flows {
+			if d.frozen[i] {
+				continue
+			}
+			f.Rate += inc
+			d.sndLeft[d.sidx[i]] -= inc
+			d.rcvLeft[d.ridx[i]] -= inc
+		}
+		// Freeze flows at saturated constraints (relative tolerance:
+		// capacities are O(1e8) bytes/second, so absolute epsilons
+		// misclassify rounding residue as headroom).
+		progressed := false
+		for i, f := range flows {
+			if d.frozen[i] {
+				continue
+			}
+			si, ri := d.sidx[i], d.ridx[i]
+			if flowCap-f.Rate <= relEps*flowCap ||
+				d.sndLeft[si] <= relEps*d.sndOrig[si] ||
+				d.rcvLeft[ri] <= relEps*d.rcvOrig[ri] {
+				d.frozen[i] = true
+				d.sndCount[si]--
+				d.rcvCount[ri]--
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// inc was positive but nothing saturated exactly; numeric
+			// safety valve to guarantee termination.
+			break
+		}
+	}
+}
+
+// fillScratch bundles everything one allocation epoch needs: interners,
+// the dense fill state and the coupled allocator's intermediate arrays.
+// WaterFill draws one from a pool; each CoupledAllocator owns one.
+type fillScratch struct {
+	snd, rcv interner
+	d        denseFill
+
+	effSend []float64 // per sender slot: coupling-adjusted capacity
+	inflow  []float64 // per receiver slot: base inflow
+}
+
+func (s *fillScratch) begin() {
+	s.snd.begin()
+	s.rcv.begin()
+	s.d.reset()
+	s.effSend = s.effSend[:0]
+	s.inflow = s.inflow[:0]
+}

@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"bwshare/internal/graph"
+	"bwshare/internal/measure"
+	"bwshare/internal/randgen"
+)
+
+// Differential tests: the optimized dense-indexed allocators must
+// reproduce the retained reference implementations exactly (the PR-2
+// acceptance bar is 1e-12 relative; the implementations are designed to
+// be bit-identical). Configurations mirror the three substrates: GigE
+// (full pause coupling), InfiniBand (partial credit coupling) and the
+// pure max-min ablation used by the Myrinet-style fluid baseline.
+var substrateConfigs = []struct {
+	name string
+	cfg  CoupledConfig
+}{
+	{"gige", CoupledConfig{LineRate: 125e6, FlowCap: 0.75 * 125e6, RxCap: 125e6, Coupling: 1, CouplingThreshold: 1.7}},
+	{"infiniband", CoupledConfig{LineRate: 1000e6, FlowCap: 0.8625 * 1000e6, RxCap: 1.13 * 1000e6, Coupling: 0.65}},
+	{"maxmin", CoupledConfig{LineRate: 250e6, FlowCap: 250e6, RxCap: 250e6, Coupling: 0}},
+}
+
+const equivSeeds = 120 // >= 100 random schemes per substrate
+
+func schemeFlows(t testing.TB, g *graph.Graph) []*Flow {
+	t.Helper()
+	flows := make([]*Flow, g.Len())
+	for _, c := range g.Comms() {
+		flows[c.ID] = &Flow{ID: int(c.ID), Src: c.Src, Dst: c.Dst, Remaining: c.Volume}
+	}
+	return flows
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+// TestCoupledAllocatorMatchesReference: rates from the optimized
+// allocator equal the reference on >= 100 random schemes for every
+// substrate configuration. One allocator instance is reused across all
+// schemes, so scratch recycling across epochs is exercised too.
+func TestCoupledAllocatorMatchesReference(t *testing.T) {
+	schemes, err := randgen.Schemes(1, equivSeeds, randgen.DefaultSchemeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range substrateConfigs {
+		opt := &CoupledAllocator{Cfg: sub.cfg}
+		ref := &ReferenceAllocator{Cfg: sub.cfg}
+		for si, g := range schemes {
+			a := schemeFlows(t, g)
+			b := schemeFlows(t, g)
+			opt.Allocate(a)
+			ref.Allocate(b)
+			for i := range a {
+				if d := relDiff(a[i].Rate, b[i].Rate); d > 1e-12 {
+					t.Fatalf("%s scheme %d flow %d: opt %.17g ref %.17g (rel %g)",
+						sub.name, si, i, a[i].Rate, b[i].Rate, d)
+				}
+			}
+		}
+	}
+}
+
+// TestWaterFillMatchesReference: the public WaterFill equals the
+// reference under randomized per-node capacity maps (including missing
+// entries resolved by the defaults).
+func TestWaterFillMatchesReference(t *testing.T) {
+	schemes, err := randgen.Schemes(2, equivSeeds, randgen.DefaultSchemeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randgen.NewRand(99)
+	for si, g := range schemes {
+		a := schemeFlows(t, g)
+		b := schemeFlows(t, g)
+		sndCap := map[graph.NodeID]float64{}
+		rcvCap := map[graph.NodeID]float64{}
+		for _, n := range g.Nodes() {
+			if rng.Float64() < 0.5 { // half the nodes fall back to defaults
+				sndCap[n] = 0.5 + rng.Float64()
+			}
+			if rng.Float64() < 0.5 {
+				rcvCap[n] = 0.5 + rng.Float64()
+			}
+		}
+		flowCap := 0.25 + rng.Float64()
+		WaterFill(a, flowCap, sndCap, rcvCap, 1, 1.1)
+		referenceWaterFill(b, flowCap, sndCap, rcvCap, 1, 1.1)
+		for i := range a {
+			if d := relDiff(a[i].Rate, b[i].Rate); d > 1e-12 {
+				t.Fatalf("scheme %d flow %d: opt %.17g ref %.17g (rel %g)",
+					si, i, a[i].Rate, b[i].Rate, d)
+			}
+		}
+	}
+}
+
+// TestFluidEngineMatchesReferenceAllocator: whole-run equivalence. The
+// optimized engine path additionally exercises incremental active-set
+// counting (ActiveSetObserver) and Flow struct recycling, neither of
+// which the direct-Allocate tests touch.
+func TestFluidEngineMatchesReferenceAllocator(t *testing.T) {
+	schemes, err := randgen.Schemes(3, equivSeeds, randgen.DefaultSchemeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range substrateConfigs {
+		ref := sub.cfg.FlowCap
+		// One engine per substrate, reused (with Reset inside
+		// measure.Run) across every scheme.
+		optEng := NewFluidEngine(sub.name, ref, &CoupledAllocator{Cfg: sub.cfg})
+		refEng := NewFluidEngine(sub.name, ref, &ReferenceAllocator{Cfg: sub.cfg})
+		for si, g := range schemes {
+			ra := measure.Run(optEng, g)
+			rb := measure.Run(refEng, g)
+			for i := range ra.Times {
+				if d := relDiff(ra.Times[i], rb.Times[i]); d > 1e-12 {
+					t.Fatalf("%s scheme %d comm %d: opt time %.17g ref %.17g (rel %g)",
+						sub.name, si, i, ra.Times[i], rb.Times[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestAllocateSteadyStateZeroAllocs: the PR-2 acceptance criterion — a
+// warmed-up allocator does zero heap allocation per Allocate, and so
+// does the pooled WaterFill.
+func TestAllocateSteadyStateZeroAllocs(t *testing.T) {
+	g, err := randgen.SchemeFromSeed(7, randgen.SchemeConfig{
+		MinNodes: 16, MaxNodes: 16, MinComms: 32, MaxComms: 32,
+		MaxOut: 4, MaxIn: 4, MinVolume: 1e6, MaxVolume: 20e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := schemeFlows(t, g)
+	alloc := &CoupledAllocator{Cfg: substrateConfigs[0].cfg}
+	alloc.Allocate(flows) // warm the scratch
+	if avg := testing.AllocsPerRun(100, func() { alloc.Allocate(flows) }); avg != 0 {
+		t.Errorf("CoupledAllocator.Allocate allocates %.1f objects/op in steady state, want 0", avg)
+	}
+	if raceEnabled {
+		return // sync.Pool drops items under -race; only the allocator claim holds
+	}
+	WaterFill(flows, 0.75, nil, nil, 1, 1)
+	if avg := testing.AllocsPerRun(100, func() { WaterFill(flows, 0.75, nil, nil, 1, 1) }); avg != 0 {
+		t.Errorf("WaterFill allocates %.1f objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestDenseFallbackHugeNodeIDs: endpoints beyond the dense-interning
+// bound take the reference path and still produce reference-equal rates.
+func TestDenseFallbackHugeNodeIDs(t *testing.T) {
+	huge := graph.NodeID(maxDenseNode + 5)
+	mk := func() []*Flow {
+		return []*Flow{
+			{ID: 0, Src: huge, Dst: 1},
+			{ID: 1, Src: huge, Dst: 2},
+			{ID: 2, Src: 3, Dst: 2},
+		}
+	}
+	for _, sub := range substrateConfigs {
+		a, b := mk(), mk()
+		(&CoupledAllocator{Cfg: sub.cfg}).Allocate(a)
+		(&ReferenceAllocator{Cfg: sub.cfg}).Allocate(b)
+		for i := range a {
+			if a[i].Rate != b[i].Rate {
+				t.Fatalf("%s flow %d: opt %g ref %g", sub.name, i, a[i].Rate, b[i].Rate)
+			}
+		}
+	}
+	a, b := mk(), mk()
+	WaterFill(a, 0.75, nil, nil, 1, 1)
+	referenceWaterFill(b, 0.75, nil, nil, 1, 1)
+	for i := range a {
+		if a[i].Rate != b[i].Rate {
+			t.Fatalf("waterfill flow %d: opt %g ref %g", i, a[i].Rate, b[i].Rate)
+		}
+	}
+}
+
+// TestSharedAllocatorRefused: attaching one observing allocator to two
+// engines would corrupt its tracked counts, so the second attach panics.
+func TestSharedAllocatorRefused(t *testing.T) {
+	alloc := &CoupledAllocator{Cfg: substrateConfigs[0].cfg}
+	NewFluidEngine("a", 1, alloc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second NewFluidEngine with the same allocator did not panic")
+		}
+	}()
+	NewFluidEngine("b", 1, alloc)
+}
+
+// TestDirectAllocateWhileAttachedRefused: an engine-attached allocator
+// invoked directly with a foreign flow set trips the tracked-count
+// consistency guard instead of silently computing wrong rates.
+func TestDirectAllocateWhileAttachedRefused(t *testing.T) {
+	alloc := &CoupledAllocator{Cfg: substrateConfigs[0].cfg}
+	e := NewFluidEngine("a", 1, alloc)
+	e.StartFlow(0, 1, 100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("direct Allocate with a foreign flow set did not panic")
+		}
+	}()
+	alloc.Allocate([]*Flow{{ID: 9, Src: 2, Dst: 3}, {ID: 10, Src: 2, Dst: 4}})
+}

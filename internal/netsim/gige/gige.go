@@ -44,21 +44,28 @@ func DefaultConfig() Config {
 	return Config{LineRate: 125e6, Beta: 0.75, PauseCoupling: true, PauseThreshold: 1.7}
 }
 
-// New builds the GigE substrate engine.
-func New(cfg Config) *netsim.FluidEngine {
-	if cfg.LineRate <= 0 || cfg.Beta <= 0 || cfg.Beta > 1 {
-		panic("gige: invalid config")
-	}
+// Coupled translates the GigE parameters into the generic coupled
+// allocator configuration. Exposed so differential tests and the bwbench
+// harness can benchmark the allocator in isolation.
+func (cfg Config) Coupled() netsim.CoupledConfig {
 	coupling := 0.0
 	if cfg.PauseCoupling {
 		coupling = 1.0
 	}
-	alloc := &netsim.CoupledAllocator{Cfg: netsim.CoupledConfig{
+	return netsim.CoupledConfig{
 		LineRate:          cfg.LineRate,
 		FlowCap:           cfg.Beta * cfg.LineRate,
 		RxCap:             cfg.LineRate,
 		Coupling:          coupling,
 		CouplingThreshold: cfg.PauseThreshold,
-	}}
+	}
+}
+
+// New builds the GigE substrate engine.
+func New(cfg Config) *netsim.FluidEngine {
+	if cfg.LineRate <= 0 || cfg.Beta <= 0 || cfg.Beta > 1 {
+		panic("gige: invalid config")
+	}
+	alloc := &netsim.CoupledAllocator{Cfg: cfg.Coupled()}
 	return netsim.NewFluidEngine("gige", cfg.Beta*cfg.LineRate, alloc)
 }

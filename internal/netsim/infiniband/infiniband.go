@@ -40,16 +40,23 @@ func DefaultConfig() Config {
 	return Config{LineRate: 1000e6, BetaIB: 0.8625, RxFactor: 1.13, Coupling: 0.65}
 }
 
+// Coupled translates the InfiniBand parameters into the generic coupled
+// allocator configuration. Exposed so differential tests and the bwbench
+// harness can benchmark the allocator in isolation.
+func (cfg Config) Coupled() netsim.CoupledConfig {
+	return netsim.CoupledConfig{
+		LineRate: cfg.LineRate,
+		FlowCap:  cfg.BetaIB * cfg.LineRate,
+		RxCap:    cfg.RxFactor * cfg.LineRate,
+		Coupling: cfg.Coupling,
+	}
+}
+
 // New builds the InfiniBand substrate engine.
 func New(cfg Config) *netsim.FluidEngine {
 	if cfg.LineRate <= 0 || cfg.BetaIB <= 0 || cfg.BetaIB > 1 || cfg.RxFactor <= 0 {
 		panic("infiniband: invalid config")
 	}
-	alloc := &netsim.CoupledAllocator{Cfg: netsim.CoupledConfig{
-		LineRate: cfg.LineRate,
-		FlowCap:  cfg.BetaIB * cfg.LineRate,
-		RxCap:    cfg.RxFactor * cfg.LineRate,
-		Coupling: cfg.Coupling,
-	}}
+	alloc := &netsim.CoupledAllocator{Cfg: cfg.Coupled()}
 	return netsim.NewFluidEngine("infiniband", cfg.BetaIB*cfg.LineRate, alloc)
 }

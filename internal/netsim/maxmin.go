@@ -2,9 +2,14 @@ package netsim
 
 import (
 	"math"
+	"sync"
 
 	"bwshare/internal/graph"
 )
+
+// fillPool recycles WaterFill scratch state across calls (and across
+// engines: the experiment runner allocates on many goroutines).
+var fillPool = sync.Pool{New: func() any { return new(fillScratch) }}
 
 // WaterFill computes the max-min fair allocation of rates to flows under
 // three families of constraints: a per-flow rate cap, a capacity per
@@ -15,96 +20,43 @@ import (
 // The algorithm is classic progressive filling: grow all unfrozen flows
 // at the same speed until a constraint saturates, freeze the flows bound
 // by it, repeat. It terminates in at most len(flows) rounds.
+//
+// Per-node state is slice-backed (node ids are interned to dense slots)
+// and drawn from a pool, so repeated calls do zero heap allocation in
+// steady state. Rates are bit-identical to ReferenceWaterFill.
 func WaterFill(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.NodeID]float64, defSend, defRecv float64) {
-	const relEps = 1e-9
-	type side struct {
-		left  float64 // remaining capacity
-		orig  float64 // original capacity (for relative saturation tests)
-		count int     // unfrozen flows using it
+	if len(flows) == 0 {
+		return
 	}
-	snd := make(map[graph.NodeID]*side)
-	rcv := make(map[graph.NodeID]*side)
-	capOf := func(m map[graph.NodeID]float64, n graph.NodeID, def float64) float64 {
-		if c, ok := m[n]; ok {
-			return c
-		}
-		return def
+	if !denseOK(flows) {
+		referenceWaterFill(flows, flowCap, senderCap, recvCap, defSend, defRecv)
+		return
 	}
+	sc := fillPool.Get().(*fillScratch)
+	sc.begin()
+	d := &sc.d
 	for _, f := range flows {
-		f.Rate = 0
-		if snd[f.Src] == nil {
+		si, fresh := sc.snd.intern(int(f.Src))
+		if fresh {
 			c := capOf(senderCap, f.Src, defSend)
-			snd[f.Src] = &side{left: c, orig: c}
+			d.sndLeft = append(d.sndLeft, c)
+			d.sndOrig = append(d.sndOrig, c)
+			d.sndCount = append(d.sndCount, 0)
 		}
-		if rcv[f.Dst] == nil {
+		d.sndCount[si]++
+		d.sidx = append(d.sidx, si)
+		ri, fresh := sc.rcv.intern(int(f.Dst))
+		if fresh {
 			c := capOf(recvCap, f.Dst, defRecv)
-			rcv[f.Dst] = &side{left: c, orig: c}
+			d.rcvLeft = append(d.rcvLeft, c)
+			d.rcvOrig = append(d.rcvOrig, c)
+			d.rcvCount = append(d.rcvCount, 0)
 		}
-		snd[f.Src].count++
-		rcv[f.Dst].count++
+		d.rcvCount[ri]++
+		d.ridx = append(d.ridx, ri)
 	}
-	frozen := make([]bool, len(flows))
-	remaining := len(flows)
-	for remaining > 0 {
-		// Smallest headroom over all constraints touching unfrozen flows.
-		inc := math.Inf(1)
-		for i, f := range flows {
-			if frozen[i] {
-				continue
-			}
-			if h := flowCap - f.Rate; h < inc {
-				inc = h
-			}
-			if s := snd[f.Src]; s.count > 0 {
-				if h := s.left / float64(s.count); h < inc {
-					inc = h
-				}
-			}
-			if r := rcv[f.Dst]; r.count > 0 {
-				if h := r.left / float64(r.count); h < inc {
-					inc = h
-				}
-			}
-		}
-		if math.IsInf(inc, 1) {
-			break
-		}
-		if inc < 0 {
-			inc = 0
-		}
-		// Apply the increment.
-		for i, f := range flows {
-			if frozen[i] {
-				continue
-			}
-			f.Rate += inc
-			snd[f.Src].left -= inc
-			rcv[f.Dst].left -= inc
-		}
-		// Freeze flows at saturated constraints (relative tolerance:
-		// capacities are O(1e8) bytes/second, so absolute epsilons
-		// misclassify rounding residue as headroom).
-		progressed := false
-		for i, f := range flows {
-			if frozen[i] {
-				continue
-			}
-			s, r := snd[f.Src], rcv[f.Dst]
-			if flowCap-f.Rate <= relEps*flowCap ||
-				s.left <= relEps*s.orig || r.left <= relEps*r.orig {
-				frozen[i] = true
-				s.count--
-				r.count--
-				remaining--
-				progressed = true
-			}
-		}
-		if !progressed {
-			// inc was positive but nothing saturated exactly; numeric
-			// safety valve to guarantee termination.
-			break
-		}
-	}
+	d.run(flows, flowCap)
+	fillPool.Put(sc)
 }
 
 // CoupledConfig parameterizes CoupledAllocator.
@@ -147,49 +99,196 @@ type CoupledConfig struct {
 //     (pause frames / credit stalls throttle the whole NIC).
 //  3. Final rates: max-min water-filling under FlowCap, the reduced
 //     sender capacities and RxCap.
+//
+// The allocator owns reusable dense scratch state, so steady-state
+// Allocate calls do zero heap allocation, and it implements
+// ActiveSetObserver: when driven by a FluidEngine, per-sender and
+// per-receiver active-flow counts are maintained incrementally across
+// active-set changes instead of being recounted every allocation. One
+// allocator must serve at most one engine.
 type CoupledAllocator struct {
 	Cfg CoupledConfig
+
+	scr      *fillScratch
+	live     activeCounts
+	attached bool
 }
 
-// Allocate implements Allocator.
+// claim marks the allocator as owned by an engine; a second engine
+// claiming it is refused (NewFluidEngine panics loudly rather than
+// letting shared tracked counts corrupt rates silently).
+func (a *CoupledAllocator) claim() bool {
+	if a.attached {
+		return false
+	}
+	a.attached = true
+	return true
+}
+
+// activeCounts tracks per-node active flow counts, updated incrementally
+// by the ActiveSetObserver callbacks. tracking stays false until an
+// engine arms it via ActiveSetReset, so a standalone Allocate call (no
+// engine) recounts from the flow slice and observes identical values.
+type activeCounts struct {
+	tracking bool
+	out, in  []int32 // indexed by graph.NodeID
+}
+
+func (c *activeCounts) bump(f *Flow, delta int32) {
+	if !c.tracking {
+		return
+	}
+	if f.Src < 0 || f.Dst < 0 || int(f.Src) >= maxDenseNode || int(f.Dst) >= maxDenseNode {
+		// Out-of-range ids take the reference fallback in Allocate;
+		// stop tracking rather than keep partial counts.
+		c.tracking = false
+		return
+	}
+	if need := max(int(f.Src), int(f.Dst)) + 1; need > len(c.out) {
+		n := max(need, 2*len(c.out))
+		no := make([]int32, n)
+		copy(no, c.out)
+		c.out = no
+		ni := make([]int32, n)
+		copy(ni, c.in)
+		c.in = ni
+	}
+	c.out[f.Src] += delta
+	c.in[f.Dst] += delta
+}
+
+// countOut and countIn read the tracked counts defensively: a node the
+// observer never saw has count zero.
+func (c *activeCounts) countOut(n graph.NodeID) int32 {
+	if int(n) >= len(c.out) {
+		return 0
+	}
+	return c.out[n]
+}
+
+func (c *activeCounts) countIn(n graph.NodeID) int32 {
+	if int(n) >= len(c.in) {
+		return 0
+	}
+	return c.in[n]
+}
+
+var _ ActiveSetObserver = (*CoupledAllocator)(nil)
+
+// FlowStarted implements ActiveSetObserver.
+func (a *CoupledAllocator) FlowStarted(f *Flow) { a.live.bump(f, 1) }
+
+// FlowFinished implements ActiveSetObserver.
+func (a *CoupledAllocator) FlowFinished(f *Flow) { a.live.bump(f, -1) }
+
+// ActiveSetReset implements ActiveSetObserver: the engine is (re)starting
+// from an empty active set, which arms incremental count tracking.
+func (a *CoupledAllocator) ActiveSetReset() {
+	a.live.tracking = true
+	clear(a.live.out)
+	clear(a.live.in)
+}
+
+// scratch returns the allocator's reusable scratch, creating it on first
+// use (so the zero value and struct literals keep working).
+func (a *CoupledAllocator) scratch() *fillScratch {
+	if a.scr == nil {
+		a.scr = new(fillScratch)
+	}
+	return a.scr
+}
+
+// Allocate implements Allocator. Rates are bit-identical to
+// ReferenceAllocator.Allocate.
 func (a *CoupledAllocator) Allocate(flows []*Flow) {
+	if len(flows) == 0 {
+		return
+	}
+	if !denseOK(flows) {
+		referenceCoupledAllocate(a.Cfg, flows)
+		return
+	}
 	cfg := a.Cfg
-	// Phase 1: base demand per sender.
-	nPerSender := make(map[graph.NodeID]int)
+	sc := a.scratch()
+	sc.begin()
+	d := &sc.d
+
+	// Phase 1a: intern endpoints and establish per-sender/per-receiver
+	// active counts — incrementally maintained ones when an engine feeds
+	// us active-set changes, otherwise recounted from the slice.
+	tracked := a.live.tracking
 	for _, f := range flows {
-		nPerSender[f.Src]++
+		si, fresh := sc.snd.intern(int(f.Src))
+		if fresh {
+			d.sndCount = append(d.sndCount, 0)
+			sc.effSend = append(sc.effSend, cfg.LineRate)
+			if tracked {
+				d.sndCount[si] = a.live.countOut(f.Src)
+			}
+		}
+		if !tracked {
+			d.sndCount[si]++
+		}
+		d.sidx = append(d.sidx, si)
+		ri, fresh := sc.rcv.intern(int(f.Dst))
+		if fresh {
+			d.rcvCount = append(d.rcvCount, 0)
+			sc.inflow = append(sc.inflow, 0)
+			if tracked {
+				d.rcvCount[ri] = a.live.countIn(f.Dst)
+			}
+		}
+		if !tracked {
+			d.rcvCount[ri]++
+		}
+		d.ridx = append(d.ridx, ri)
 	}
-	base := func(f *Flow) float64 {
-		return math.Min(cfg.FlowCap, cfg.LineRate/float64(nPerSender[f.Src]))
+	if tracked {
+		// Consistency guard: every active flow contributes one to its
+		// sender's tracked count, so the distinct-sender counts must sum
+		// to len(flows). A mismatch means the allocator was fed a flow
+		// set it was not tracking (e.g. a direct Allocate call while
+		// serving an engine) — fail loudly instead of computing wrong
+		// rates.
+		total := 0
+		for _, c := range d.sndCount {
+			total += int(c)
+		}
+		if total != len(flows) {
+			panic("netsim: CoupledAllocator tracked counts disagree with the flow set; an engine-attached allocator must only be invoked by its engine")
+		}
 	}
+
+	// Phase 1b: base demand per sender, accumulated per receiver.
+	for i := range flows {
+		b := math.Min(cfg.FlowCap, cfg.LineRate/float64(d.sndCount[d.sidx[i]]))
+		sc.inflow[d.ridx[i]] += b
+	}
+
 	// Phase 2: receiver oversubscription and sender coupling.
-	inflow := make(map[graph.NodeID]float64)
-	for _, f := range flows {
-		inflow[f.Dst] += base(f)
-	}
 	threshold := cfg.CouplingThreshold
 	if threshold < 1 {
 		threshold = 1
 	}
-	effSend := make(map[graph.NodeID]float64)
-	for _, f := range flows {
-		rho := inflow[f.Dst] / cfg.RxCap
-		cur, ok := effSend[f.Src]
-		if !ok {
-			cur = cfg.LineRate
-			effSend[f.Src] = cur
-		}
+	for i := range flows {
+		rho := sc.inflow[d.ridx[i]] / cfg.RxCap
 		if rho > threshold && cfg.Coupling > 0 {
 			reduced := cfg.LineRate * (1 - cfg.Coupling*(1-1/rho))
-			if reduced < cur {
-				effSend[f.Src] = reduced
+			if si := d.sidx[i]; reduced < sc.effSend[si] {
+				sc.effSend[si] = reduced
 			}
 		}
 	}
-	// Phase 3: max-min under the adjusted capacities.
-	recvCap := make(map[graph.NodeID]float64)
-	for d := range inflow {
-		recvCap[d] = cfg.RxCap
+
+	// Phase 3: max-min under the adjusted capacities. The per-slot counts
+	// from phase 1a are exactly the initial unfrozen counts.
+	for _, v := range sc.effSend {
+		d.sndLeft = append(d.sndLeft, v)
+		d.sndOrig = append(d.sndOrig, v)
 	}
-	WaterFill(flows, cfg.FlowCap, effSend, recvCap, cfg.LineRate, cfg.RxCap)
+	for range sc.inflow {
+		d.rcvLeft = append(d.rcvLeft, cfg.RxCap)
+		d.rcvOrig = append(d.rcvOrig, cfg.RxCap)
+	}
+	d.run(flows, cfg.FlowCap)
 }

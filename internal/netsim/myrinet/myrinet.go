@@ -76,6 +76,27 @@ type waiter struct {
 	f *flow
 }
 
+// packetDone is the pooled packet-completion callback: one live instance
+// per in-flight packet, recycled when it fires. Pooling it (plus the
+// des.Queue's own event pooling) makes the steady packet loop
+// allocation-free, which matters on Linpack-scale traces with millions
+// of packet events.
+type packetDone struct {
+	e  *Engine
+	s  *sender
+	f  *flow
+	r  *receiver
+	sz float64
+}
+
+// Run implements des.Runner.
+func (p *packetDone) Run() {
+	e, s, f, r, sz := p.e, p.s, p.f, p.r, p.sz
+	*p = packetDone{}
+	e.pktFree = append(e.pktFree, p)
+	e.finishPacket(s, f, r, sz)
+}
+
 // Engine is the Myrinet packet-level engine. It implements core.Engine.
 type Engine struct {
 	cfg  Config
@@ -84,6 +105,9 @@ type Engine struct {
 	rcv  map[graph.NodeID]*receiver
 	next int
 	done []core.Completion // completions fired during the current Advance
+
+	pktFree  []*packetDone // recycled packet callbacks
+	flowFree []*flow       // recycled flow structs
 }
 
 var _ core.Engine = (*Engine)(nil)
@@ -110,11 +134,13 @@ func (e *Engine) RefRate() float64 {
 	return e.cfg.PacketBytes / per
 }
 
-// Reset implements core.Resetter.
+// Reset implements core.Resetter. The event queue, packet-callback and
+// flow free lists survive the reset, so repeated runs on one engine stay
+// allocation-free.
 func (e *Engine) Reset() {
-	e.q = des.Queue{}
-	e.snd = make(map[graph.NodeID]*sender)
-	e.rcv = make(map[graph.NodeID]*receiver)
+	e.q.Reset()
+	clear(e.snd)
+	clear(e.rcv)
 	e.next = 0
 	e.done = nil
 }
@@ -130,7 +156,14 @@ func (e *Engine) StartFlow(src, dst graph.NodeID, bytes float64, now float64) in
 	if src == dst {
 		panic("myrinet: StartFlow with src == dst")
 	}
-	f := &flow{id: e.next, src: src, dst: dst, remaining: bytes}
+	var f *flow
+	if n := len(e.flowFree); n > 0 {
+		f = e.flowFree[n-1]
+		e.flowFree = e.flowFree[:n-1]
+	} else {
+		f = new(flow)
+	}
+	*f = flow{id: e.next, src: src, dst: dst, remaining: bytes}
 	e.next++
 	e.q.Schedule(now, func() {
 		s := e.senderOf(src)
@@ -214,7 +247,15 @@ func (e *Engine) startPacket(s *sender, f *flow, r *receiver, t float64) {
 		sz = e.cfg.PacketBytes
 	}
 	dur := e.cfg.Overhead + sz/e.cfg.LineRate
-	e.q.Schedule(t+dur, func() { e.finishPacket(s, f, r, sz) })
+	var p *packetDone
+	if n := len(e.pktFree); n > 0 {
+		p = e.pktFree[n-1]
+		e.pktFree = e.pktFree[:n-1]
+	} else {
+		p = new(packetDone)
+	}
+	*p = packetDone{e: e, s: s, f: f, r: r, sz: sz}
+	e.q.ScheduleRunner(t+dur, p)
 }
 
 func (e *Engine) finishPacket(s *sender, f *flow, r *receiver, sz float64) {
@@ -224,13 +265,18 @@ func (e *Engine) finishPacket(s *sender, f *flow, r *receiver, sz float64) {
 	if f.remaining <= 1e-9 {
 		e.removeFlow(s, f)
 		e.done = append(e.done, core.Completion{Flow: f.id, Time: t})
+		e.flowFree = append(e.flowFree, f) // nothing references it anymore
 	} else {
 		s.rr++ // move round-robin past the flow that just transmitted
 	}
-	// Go: wake the first sender stopped on this channel.
-	if len(r.waiters) > 0 {
+	// Go: wake the first sender stopped on this channel. Pop by copy so
+	// the waiters slice keeps its backing array (re-slicing the front
+	// away would force every later append to reallocate).
+	if n := len(r.waiters); n > 0 {
 		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[n-1] = waiter{}
+		r.waiters = r.waiters[:n-1]
 		e.startPacket(w.s, w.f, r, t)
 	}
 	e.tryNext(s, t)

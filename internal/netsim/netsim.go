@@ -38,9 +38,22 @@ type Flow struct {
 
 // Allocator assigns an instantaneous rate to every active flow. It is
 // invoked whenever the active set changes. Implementations write
-// Flow.Rate and must keep every rate >= 0; they must not retain the slice.
+// Flow.Rate and must keep every rate >= 0; they must not retain the
+// slice or the Flow pointers (the engine recycles completed flows).
 type Allocator interface {
 	Allocate(flows []*Flow)
+}
+
+// ActiveSetObserver is optionally implemented by Allocators that want to
+// track the active flow set incrementally instead of rescanning it on
+// every Allocate (e.g. per-node flow counts). A FluidEngine notifies its
+// allocator of every change: FlowStarted when a flow joins, FlowFinished
+// for each completed flow, and ActiveSetReset when the engine (re)starts
+// from an empty set. An observing allocator must serve a single engine.
+type ActiveSetObserver interface {
+	FlowStarted(f *Flow)
+	FlowFinished(f *Flow)
+	ActiveSetReset()
 }
 
 // FluidEngine is a deterministic fluid-flow network simulator.
@@ -48,9 +61,11 @@ type FluidEngine struct {
 	name    string
 	refRate float64
 	alloc   Allocator
+	obs     ActiveSetObserver // alloc, if it observes; else nil
 
 	now    float64
 	active []*Flow
+	free   []*Flow // recycled Flow structs, reused by StartFlow
 	nextID int
 	dirty  bool
 }
@@ -65,7 +80,23 @@ func NewFluidEngine(name string, refRate float64, alloc Allocator) *FluidEngine 
 	if refRate <= 0 {
 		panic("netsim: refRate must be positive")
 	}
-	return &FluidEngine{name: name, refRate: refRate, alloc: alloc}
+	e := &FluidEngine{name: name, refRate: refRate, alloc: alloc}
+	if obs, ok := alloc.(ActiveSetObserver); ok {
+		// An observing allocator holds per-engine state; sharing one
+		// between engines would silently corrupt its tracked counts.
+		if c, ok := alloc.(claimable); ok && !c.claim() {
+			panic("netsim: allocator is already attached to an engine")
+		}
+		e.obs = obs
+		obs.ActiveSetReset()
+	}
+	return e
+}
+
+// claimable is implemented by observers that must be owned by a single
+// engine; claim returns false if already claimed.
+type claimable interface {
+	claim() bool
 }
 
 // Name implements core.Engine.
@@ -80,9 +111,13 @@ func (e *FluidEngine) Now() float64 { return e.now }
 // Reset implements core.Resetter.
 func (e *FluidEngine) Reset() {
 	e.now = 0
-	e.active = nil
+	e.free = append(e.free, e.active...)
+	e.active = e.active[:0]
 	e.nextID = 0
 	e.dirty = false
+	if e.obs != nil {
+		e.obs.ActiveSetReset()
+	}
 }
 
 // StartFlow implements core.Engine. now must be at or after the frontier
@@ -101,10 +136,20 @@ func (e *FluidEngine) StartFlow(src, dst graph.NodeID, bytes float64, now float6
 		}
 		e.integrateTo(now)
 	}
-	f := &Flow{ID: e.nextID, Src: src, Dst: dst, Remaining: bytes}
+	var f *Flow
+	if n := len(e.free); n > 0 {
+		f = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		f = new(Flow)
+	}
+	*f = Flow{ID: e.nextID, Src: src, Dst: dst, Remaining: bytes}
 	e.nextID++
 	e.active = append(e.active, f)
 	e.dirty = true
+	if e.obs != nil {
+		e.obs.FlowStarted(f)
+	}
 	return f.ID
 }
 
@@ -202,12 +247,17 @@ func (e *FluidEngine) integrateTo(t float64) {
 }
 
 // reap removes finished flows and returns their completions at time t.
+// Completed Flow structs go back to the free list for reuse.
 func (e *FluidEngine) reap(t float64) []core.Completion {
 	var done []core.Completion
 	keep := e.active[:0]
 	for _, f := range e.active {
 		if f.Remaining <= completionEps {
 			done = append(done, core.Completion{Flow: f.ID, Time: t})
+			if e.obs != nil {
+				e.obs.FlowFinished(f)
+			}
+			e.free = append(e.free, f)
 		} else {
 			keep = append(keep, f)
 		}
