@@ -1,8 +1,11 @@
 # Tier-1 verification and development targets. `make verify` is the
-# canonical gate: go build ./... && go test ./...
+# canonical local gate and mirrors the CI pipeline: format + vet gates,
+# build, tests, targeted race tests and the bwserved/bwpredict smoke
+# diff. `make ci` additionally runs the bench-regression check (a
+# separate CI job, kept out of verify because benchmarks take ~20s).
 GO ?= go
 
-.PHONY: build test race bench bench-json verify
+.PHONY: build test race bench bench-json bench-check fmt vet serve smoke verify ci
 
 build:
 	$(GO) build ./...
@@ -10,8 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers the concurrency-bearing packages, matching the CI race
+# step: the parallel experiment runner, the engines, and the HTTP
+# serving layer.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/experiments/ ./internal/netsim/... ./internal/des/ ./internal/server/ ./cmd/bwserved/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -23,4 +29,30 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bwbench $(if $(PR),-pr $(PR))
 
-verify: build test
+# bench-check is the CI regression gate: rerun the suite and fail on
+# >25% ns/op regression (or any allocation on a zero-alloc suite)
+# against the latest committed BENCH_<n>.json, or BASELINE=<path>.
+bench-check:
+	$(GO) run ./cmd/bwbench -check $(if $(BASELINE),-baseline $(BASELINE))
+
+# fmt fails (listing the files) if any file needs gofmt; same gate as CI.
+fmt:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# serve runs the HTTP prediction service; SERVE_FLAGS passes extra flags
+# (e.g. make serve SERVE_FLAGS="-addr 127.0.0.1:9000 -workers 8").
+serve:
+	$(GO) run ./cmd/bwserved $(SERVE_FLAGS)
+
+# smoke starts bwserved and diffs /v1/predict?format=text against
+# bwpredict stdout for catalog schemes — byte-identical or it fails.
+smoke:
+	sh scripts/smoke.sh
+
+verify: fmt vet build test race smoke
+
+ci: verify bench-check

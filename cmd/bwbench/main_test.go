@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bwshare/internal/benchsuite"
 )
 
 func TestListPrintsSuite(t *testing.T) {
@@ -77,5 +79,105 @@ func TestWritesSnapshot(t *testing.T) {
 	}
 	if !raceEnabled && b.AllocsPerOp != 0 {
 		t.Errorf("steady-state WaterFill allocs/op = %d, want 0", b.AllocsPerOp)
+	}
+}
+
+func TestCompareResults(t *testing.T) {
+	base := []benchsuite.Result{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "b", NsPerOp: 100, AllocsPerOp: 5},
+		{Name: "gone", NsPerOp: 1, AllocsPerOp: 0},
+	}
+	cur := []benchsuite.Result{
+		{Name: "a", NsPerOp: 120, AllocsPerOp: 0}, // +20%: within 25%
+		{Name: "b", NsPerOp: 90, AllocsPerOp: 7},  // faster; alloc increase on a non-zero-alloc suite is tolerated
+		{Name: "new", NsPerOp: 1, AllocsPerOp: 9}, // no baseline
+	}
+	lines, slow, failures := compareResults(cur, base, 25)
+	if len(failures) != 0 || len(slow) != 0 {
+		t.Fatalf("unexpected failures: %v (slow %v)", failures, slow)
+	}
+	if len(lines) != 3 || !strings.Contains(lines[2], "new in this tree") {
+		t.Fatalf("lines = %v", lines)
+	}
+
+	cur[0].NsPerOp = 126 // +26%: over threshold
+	cur[1].AllocsPerOp = 5
+	_, slow, failures = compareResults(cur, base, 25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op +26.0%") {
+		t.Fatalf("failures = %v", failures)
+	}
+	if len(slow) != 1 || slow[0] != "a" {
+		t.Fatalf("slow = %v, want [a] (retryable)", slow)
+	}
+
+	cur[0].NsPerOp = 100
+	cur[0].AllocsPerOp = 1 // alloc regression on a zero-alloc suite
+	_, slow, failures = compareResults(cur, base, 25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "zero-alloc") {
+		t.Fatalf("failures = %v", failures)
+	}
+	if len(slow) != 0 {
+		t.Fatalf("alloc regressions are not retryable, slow = %v", slow)
+	}
+}
+
+func TestTakeMinAndNameFilter(t *testing.T) {
+	results := []benchsuite.Result{
+		{Name: "a", NsPerOp: 200},
+		{Name: "b", NsPerOp: 100},
+	}
+	rerun := []benchsuite.Result{
+		{Name: "a", NsPerOp: 150},
+		{Name: "b", NsPerOp: 300},
+	}
+	out := takeMin(results, rerun)
+	if out[0].NsPerOp != 150 || out[1].NsPerOp != 100 {
+		t.Errorf("takeMin = %v", out)
+	}
+	re := nameFilter([]string{"WaterFill/opt/32", "a+b"})
+	if !re.MatchString("WaterFill/opt/32") || !re.MatchString("a+b") {
+		t.Error("nameFilter should match listed names exactly")
+	}
+	if re.MatchString("WaterFill/opt/322") || re.MatchString("aab") {
+		t.Error("nameFilter must not match other names")
+	}
+}
+
+// TestCheckMode runs the real -check flow against synthetic baselines
+// using the cheapest benchmark.
+func TestCheckMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	dir := t.TempDir()
+	writeBase := func(name string, ns float64, allocs int64) string {
+		snap := snapshot{
+			Schema: "bwshare-bench/v1", PR: 1,
+			Benchmarks: []benchsuite.Result{{Name: "WaterFill/opt/32", N: 1, NsPerOp: ns, AllocsPerOp: allocs}},
+		}
+		data, _ := json.Marshal(snap)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	generous := writeBase("generous.json", 1e12, 0)
+	var out bytes.Buffer
+	if err := run([]string{"-check", "-baseline", generous, "-filter", "^WaterFill/opt/32$"}, &out); err != nil {
+		t.Fatalf("generous baseline should pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "check passed") {
+		t.Errorf("missing pass summary:\n%s", out.String())
+	}
+	tight := writeBase("tight.json", 1e-6, 0)
+	out.Reset()
+	err := run([]string{"-check", "-baseline", tight, "-filter", "^WaterFill/opt/32$"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bench regression") {
+		t.Fatalf("tight baseline should fail with a regression, got %v", err)
+	}
+	if err := run([]string{"-check", "-baseline", filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Fatal("missing baseline file should error")
 	}
 }

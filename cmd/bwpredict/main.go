@@ -16,18 +16,12 @@ import (
 	"os"
 	"strings"
 
-	"bwshare/internal/core"
 	"bwshare/internal/graph"
 	"bwshare/internal/measure"
-	"bwshare/internal/model"
-	"bwshare/internal/netsim/gige"
-	"bwshare/internal/netsim/infiniband"
-	"bwshare/internal/netsim/myrinet"
 	"bwshare/internal/predict"
 	"bwshare/internal/report"
 	"bwshare/internal/schemelang"
 	"bwshare/internal/schemes"
-	"bwshare/internal/stats"
 )
 
 func main() {
@@ -51,43 +45,26 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m, sub, err := modelByName(*modelName)
+	m, sub, err := predict.LookupModel(*modelName)
 	if err != nil {
 		return err
 	}
 	ref := sub.RefRate()
+	sess := predict.NewSession(m, ref)
+	// Penalties first: times points into session scratch, which is only
+	// valid until the next Session call.
+	pen := sess.StaticPenalties(g)
 	var times []float64
 	if *static {
-		times = predict.StaticTimes(g, m, ref)
+		times = sess.StaticTimes(g)
 	} else {
-		times = predict.Times(g, m, ref)
+		times = sess.Times(g)
 	}
-	pen := m.Penalties(g)
-	header := []string{"comm", "src", "dst", "static penalty", "time [s]"}
-	var meas measure.Result
+	var meas []float64
 	if *compare {
-		meas = measure.Run(sub, g)
-		header = append(header, "measured [s]", "Erel [%]")
+		meas = measure.Run(sub, g).Times
 	}
-	fmt.Fprintf(out, "model %s (progressive=%v), ref rate %.1f MB/s\n", m.Name(), !*static, ref/1e6)
-	t := report.Table{Header: header}
-	for _, c := range g.Comms() {
-		row := []string{
-			c.Label, fmt.Sprint(c.Src), fmt.Sprint(c.Dst),
-			fmt.Sprintf("%.3f", pen[c.ID]),
-			fmt.Sprintf("%.4f", times[c.ID]),
-		}
-		if *compare {
-			row = append(row,
-				fmt.Sprintf("%.4f", meas.Times[c.ID]),
-				fmt.Sprintf("%+.1f", stats.RelErr(times[c.ID], meas.Times[c.ID])))
-		}
-		t.AddRow(row...)
-	}
-	t.Render(out)
-	if *compare {
-		fmt.Fprintf(out, "  Eabs = %.1f%%\n", stats.AbsErr(times, meas.Times))
-	}
+	report.PredictionText(out, m.Name(), !*static, ref, g, pen, times, meas)
 	return nil
 }
 
@@ -115,24 +92,5 @@ func loadScheme(name, file string) (*graph.Graph, error) {
 		return schemelang.Parse(string(src))
 	default:
 		return nil, fmt.Errorf("need -scheme <name> or -file <path>")
-	}
-}
-
-// modelByName returns the model and its matching substrate (used for the
-// reference rate and -compare).
-func modelByName(name string) (core.Model, core.Engine, error) {
-	switch name {
-	case "gige":
-		return model.NewGigE(), gige.New(gige.DefaultConfig()), nil
-	case "myrinet":
-		return model.NewMyrinet(), myrinet.New(myrinet.DefaultConfig()), nil
-	case "infiniband", "ib":
-		return model.NewInfiniBand(), infiniband.New(infiniband.DefaultConfig()), nil
-	case "kimlee":
-		return model.KimLee{}, gige.New(gige.DefaultConfig()), nil
-	case "linear":
-		return model.Linear{}, gige.New(gige.DefaultConfig()), nil
-	default:
-		return nil, nil, fmt.Errorf("unknown model %q", name)
 	}
 }

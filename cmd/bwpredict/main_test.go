@@ -1,8 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"bwshare/internal/schemelang"
+	"bwshare/internal/schemes"
 )
 
 func TestPredictNamedScheme(t *testing.T) {
@@ -59,5 +64,101 @@ func TestPredictErrors(t *testing.T) {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
+	}
+}
+
+// TestPredictFileMatchesCatalog renders a catalog scheme into a
+// schemelang file and checks the -file path produces byte-identical
+// output to -scheme.
+func TestPredictFileMatchesCatalog(t *testing.T) {
+	g, _ := schemes.Named("s2")
+	path := filepath.Join(t.TempDir(), "s2.txt")
+	if err := os.WriteFile(path, []byte(schemelang.Format(g)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, fromName strings.Builder
+	if err := run([]string{"-model", "gige", "-file", path}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "gige", "-scheme", "s2"}, &fromName); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != fromName.String() {
+		t.Errorf("-file output differs from -scheme:\n%s\nvs\n%s", fromFile.String(), fromName.String())
+	}
+}
+
+func TestPredictCompareFromFile(t *testing.T) {
+	g, _ := schemes.Named("s3")
+	path := filepath.Join(t.TempDir(), "s3.txt")
+	if err := os.WriteFile(path, []byte(schemelang.Format(g)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-model", "gige", "-file", path, "-compare"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"measured [s]", "Erel [%]", "Eabs ="} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestPredictStaticCompare(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "gige", "-scheme", "fig4", "-static", "-compare"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "progressive=false") || !strings.Contains(sb.String(), "Eabs =") {
+		t.Errorf("static compare output wrong:\n%s", sb.String())
+	}
+}
+
+func TestPredictMalformedSchemeFile(t *testing.T) {
+	cases := map[string]string{
+		"missing arrow":   "a: 0 1\n",
+		"no label":        "0 -> 1\n",
+		"bad node":        "a: x -> 1\n",
+		"bad volume":      "a: 0 -> 1 12XB\n",
+		"negative volume": "a: 0 -> 1 -3MB\n",
+		"self loop":       "a: 2 -> 2\n",
+		"empty scheme":    "# only a comment\n",
+	}
+	for name, src := range cases {
+		path := filepath.Join(t.TempDir(), "bad.txt")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := run([]string{"-model", "gige", "-file", path}, &sb); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestPredictFileErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "gige", "-file", "/nonexistent/scheme.txt"}, &sb); err == nil {
+		t.Error("nonexistent file should error")
+	}
+	if err := run([]string{"-model", "gige", "-scheme", "s1", "-file", "x.txt"}, &sb); err == nil {
+		t.Error("-scheme with -file should error")
+	}
+	if err := run([]string{"-model", "gige", "-scheme", "s1", "-bogus"}, &sb); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestPredictIBAlias(t *testing.T) {
+	var ib, long strings.Builder
+	if err := run([]string{"-model", "ib", "-scheme", "s4"}, &ib); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "infiniband", "-scheme", "s4"}, &long); err != nil {
+		t.Fatal(err)
+	}
+	if ib.String() != long.String() {
+		t.Error("-model ib should match -model infiniband")
 	}
 }

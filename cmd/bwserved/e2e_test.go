@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestE2EByteIdenticalWithBwpredict is the acceptance e2e: it builds the
+// real bwserved and bwpredict binaries, starts the server, and checks
+// that /v1/predict?format=text is byte-identical to bwpredict's stdout
+// for catalog schemes across models — the same diff the CI smoke step
+// performs with curl.
+func TestE2EByteIdenticalWithBwpredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/bwserved", "./cmd/bwpredict")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	served := exec.Command(filepath.Join(bin, "bwserved"), "-addr", "127.0.0.1:0")
+	stdout, err := served.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served.Stderr = served.Stdout
+	if err := served.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		served.Process.Kill()
+		served.Wait()
+	})
+	base := readBaseURL(t, stdout)
+
+	for _, tc := range []struct {
+		scheme, model string
+		static        bool
+	}{
+		{"s4", "gige", false},
+		{"s6", "gige", true},
+		{"mk2", "myrinet", false},
+		{"fig5", "myrinet", false},
+		{"fig4", "infiniband", false},
+		{"mk1", "kimlee", false},
+	} {
+		args := []string{"-model", tc.model, "-scheme", tc.scheme}
+		url := fmt.Sprintf("%s/v1/predict?format=text&name=%s&model=%s", base, tc.scheme, tc.model)
+		if tc.static {
+			args = append(args, "-static")
+			url += "&static=true"
+		}
+		cli := exec.Command(filepath.Join(bin, "bwpredict"), args...)
+		want, err := cli.Output()
+		if err != nil {
+			t.Fatalf("bwpredict %v: %v", args, err)
+		}
+		// Twice: the second response comes from the cache and must not
+		// differ by a byte either.
+		for pass, label := range []string{"uncached", "cached"} {
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", url, resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s/%s pass %d (%s): server text differs from bwpredict\n got: %q\nwant: %q",
+					tc.scheme, tc.model, pass, label, got, want)
+			}
+		}
+	}
+}
+
+// readBaseURL scans bwserved's stdout for the listen announcement.
+func readBaseURL(t *testing.T, r io.Reader) string {
+	t.Helper()
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			if i := strings.Index(sc.Text(), "listening on "); i >= 0 {
+				fields := strings.Fields(sc.Text()[i+len("listening on "):])
+				if len(fields) > 0 {
+					lines <- fields[0]
+					return
+				}
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case url, ok := <-lines:
+		if !ok {
+			t.Fatal("bwserved exited without announcing an address")
+		}
+		return url
+	case <-time.After(15 * time.Second):
+		t.Fatal("timed out waiting for bwserved to listen")
+	}
+	return ""
+}

@@ -22,8 +22,10 @@ import (
 	"bwshare/internal/netsim/gige"
 	"bwshare/internal/netsim/infiniband"
 	"bwshare/internal/netsim/myrinet"
+	"bwshare/internal/predict"
 	"bwshare/internal/randgen"
 	"bwshare/internal/schemes"
+	"bwshare/internal/server"
 )
 
 // Benchmark is one named benchmark function.
@@ -144,6 +146,53 @@ func Suite() []Benchmark {
 		{"Substrate/gige/rand32", engineBench(func() core.Engine { return gige.New(gige.DefaultConfig()) }, rand32)},
 		{"Substrate/infiniband/rand32", engineBench(func() core.Engine { return infiniband.New(infiniband.DefaultConfig()) }, rand32)},
 		{"Substrate/myrinet/S6", engineBench(func() core.Engine { return myrinet.New(myrinet.DefaultConfig()) }, s6)},
+		// Serving layer: the bwserved prediction path. hit measures the
+		// LRU cache hit (the acceptance criterion: 0 allocs/op); miss
+		// disables the cache so every op runs the pooled simulator
+		// session; session is the raw reusable-session predict.
+		{"Server/predict/hit/s6", func(b *testing.B) {
+			s := server.New(server.Config{Workers: 1, CacheSize: 16})
+			if _, err := s.Predict(s6, "gige", false, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := s.Predict(s6, "gige", false, 0)
+				if err != nil || !r.Cached {
+					b.Fatal("expected a cache hit")
+				}
+			}
+		}},
+		{"Server/predict/miss/s6", func(b *testing.B) {
+			s := server.New(server.Config{Workers: 1, CacheSize: -1})
+			if _, err := s.Predict(s6, "gige", false, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := s.Predict(s6, "gige", false, 0)
+				if err != nil || r.Cached {
+					b.Fatal("expected an uncached prediction")
+				}
+			}
+		}},
+		{"Session/times/rand32", func(b *testing.B) {
+			m, sub, err := predict.LookupModel("gige")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess := predict.NewSession(m, sub.RefRate())
+			sess.Times(rand32) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ts := sess.Times(rand32); len(ts) != BenchFlowsN {
+					b.Fatal("bad run")
+				}
+			}
+		}},
 		// End-to-end randomized sweep (EXP-RND), serial workers so the
 		// number is comparable across machines.
 		{"Sweep/exp-rnd/8", func(b *testing.B) {

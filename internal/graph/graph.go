@@ -204,6 +204,26 @@ func (g *Graph) Subgraph(keep []CommID) (*Graph, []CommID) {
 	return sub, orig
 }
 
+// Equal reports whether two graphs describe the identical communication
+// sequence: same length and, position by position, the same label,
+// endpoints and volume. It allocates nothing, so it is usable to confirm
+// hash-keyed cache hits on the serving hot path.
+func Equal(a, b *Graph) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || len(a.comms) != len(b.comms) {
+		return false
+	}
+	for i := range a.comms {
+		ca, cb := &a.comms[i], &b.comms[i]
+		if ca.Label != cb.Label || ca.Src != cb.Src || ca.Dst != cb.Dst || ca.Volume != cb.Volume {
+			return false
+		}
+	}
+	return true
+}
+
 // ConflictKind classifies the elementary conflict of one communication on
 // one of its endpoint nodes (Section IV-A of the paper).
 type ConflictKind int

@@ -191,3 +191,25 @@ func TestKindAndRuleStrings(t *testing.T) {
 		t.Error("unknown values must still print")
 	}
 }
+
+func TestEqual(t *testing.T) {
+	a := NewBuilder().Add("a", 0, 1, 20e6).Add("b", 0, 2, 10e6).MustBuild()
+	b := NewBuilder().Add("a", 0, 1, 20e6).Add("b", 0, 2, 10e6).MustBuild()
+	if !Equal(a, a) || !Equal(a, b) {
+		t.Error("identical graphs should be Equal")
+	}
+	if Equal(a, nil) || Equal(nil, a) {
+		t.Error("nil is not Equal to a graph")
+	}
+	if !Equal(nil, nil) {
+		t.Error("Equal(nil, nil) should hold")
+	}
+	c := NewBuilder().Add("a", 0, 1, 20e6).MustBuild()
+	if Equal(a, c) {
+		t.Error("different lengths should not be Equal")
+	}
+	d := NewBuilder().Add("a", 0, 1, 20e6).Add("b", 0, 2, 10e6+1).MustBuild()
+	if Equal(a, d) {
+		t.Error("different volumes should not be Equal")
+	}
+}

@@ -12,6 +12,12 @@
 //
 // NewEngine wraps any core.Model as a core.Engine, so predicted times and
 // substrate-measured times come from running the same drivers.
+//
+// Two calling conventions are offered: the one-shot package functions
+// (Times, StaticTimes, Penalties) allocate a fresh engine per call, and
+// the handle-based Session reuses one pooled engine plus scratch buffers
+// across predictions — the serving path of cmd/bwserved holds one
+// Session per worker per model.
 package predict
 
 import (
@@ -19,7 +25,11 @@ import (
 
 	"bwshare/internal/core"
 	"bwshare/internal/graph"
+	"bwshare/internal/model"
 	"bwshare/internal/netsim"
+	"bwshare/internal/netsim/gige"
+	"bwshare/internal/netsim/infiniband"
+	"bwshare/internal/netsim/myrinet"
 )
 
 // NewEngine returns a fluid engine whose instantaneous rates are
@@ -54,37 +64,113 @@ func (a *modelAllocator) Allocate(flows []*netsim.Flow) {
 	}
 }
 
+// Session is a reusable prediction context: one model, one reference
+// rate, one pooled fluid engine, and scratch buffers that survive across
+// calls. A Session is not safe for concurrent use; give each worker its
+// own. Returned slices are owned by the Session and are valid only until
+// its next method call — copy them out to retain results.
+type Session struct {
+	m   core.Model
+	ref float64
+	eng *netsim.FluidEngine
+
+	flow  []int     // flow id of comm i in the current run
+	rev   []int     // comm index of flow id (inverse of flow)
+	times []float64 // result buffer
+}
+
+// NewSession builds a reusable prediction context for the model at the
+// given reference rate (bytes/second).
+func NewSession(m core.Model, refRate float64) *Session {
+	return &Session{m: m, ref: refRate, eng: NewEngine(m, refRate)}
+}
+
+// Model returns the session's penalty model.
+func (s *Session) Model() core.Model { return s.m }
+
+// RefRate returns the session's reference rate in bytes/second.
+func (s *Session) RefRate() float64 { return s.ref }
+
 // Times predicts the duration of every communication of g with
 // progressive evaluation, all communications starting at time zero (the
 // synthetic benchmark protocol of Section IV-B). Result is indexed by
-// graph.CommID.
-func Times(g *graph.Graph, m core.Model, refRate float64) []float64 {
-	e := NewEngine(m, refRate)
-	ids := make([]int, g.Len())
-	for _, c := range g.Comms() {
-		ids[c.ID] = e.StartFlow(c.Src, c.Dst, c.Volume, 0)
+// graph.CommID and valid until the next call on s.
+func (s *Session) Times(g *graph.Graph) []float64 {
+	n := g.Len()
+	s.eng.Reset()
+	s.flow = grow(s.flow, n)
+	s.rev = grow(s.rev, n)
+	for i := 0; i < n; i++ {
+		c := g.Comm(graph.CommID(i))
+		fid := s.eng.StartFlow(c.Src, c.Dst, c.Volume, 0)
+		s.flow[i] = fid
+		if fid < 0 || fid >= n {
+			panic(fmt.Sprintf("predict: engine flow id %d outside dense range [0,%d)", fid, n))
+		}
+		s.rev[fid] = i
 	}
-	times := make([]float64, g.Len())
-	for _, done := range core.Drain(e) {
-		for cid, fid := range ids {
-			if fid == done.Flow {
-				times[cid] = done.Time
-			}
+	s.times = growF(s.times, n)
+	seen := 0
+	for seen < n {
+		done, _ := s.eng.Advance(core.Inf)
+		if len(done) == 0 {
+			panic(fmt.Sprintf("predict: engine stalled with %d of %d communications pending", n-seen, n))
+		}
+		for _, d := range done {
+			s.times[s.rev[d.Flow]] = d.Time
+			seen++
 		}
 	}
-	return times
+	return s.times
+}
+
+// StaticTimes predicts durations with the static formulas only: each
+// communication takes penalty * volume / refRate regardless of when the
+// others finish. Result is valid until the next call on s.
+func (s *Session) StaticTimes(g *graph.Graph) []float64 {
+	p := s.m.Penalties(g)
+	n := g.Len()
+	s.times = growF(s.times, n)
+	for i := 0; i < n; i++ {
+		s.times[i] = p[i] * g.Comm(graph.CommID(i)).Volume / s.ref
+	}
+	return s.times
+}
+
+// StaticPenalties returns the model's static penalties for g (a fresh
+// slice from the model, safe to retain).
+func (s *Session) StaticPenalties(g *graph.Graph) []float64 {
+	return s.m.Penalties(g)
+}
+
+// grow returns buf resized to n, reallocating only when capacity lacks.
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growF is grow for float64 buffers.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Times predicts the duration of every communication of g with
+// progressive evaluation using a one-shot Session. Result is indexed by
+// graph.CommID.
+func Times(g *graph.Graph, m core.Model, refRate float64) []float64 {
+	return NewSession(m, refRate).Times(g)
 }
 
 // StaticTimes predicts durations with the static formulas only: each
 // communication takes penalty * volume / refRate regardless of when the
 // others finish. Used by the EXP-A1 ablation.
 func StaticTimes(g *graph.Graph, m core.Model, refRate float64) []float64 {
-	p := m.Penalties(g)
-	out := make([]float64, g.Len())
-	for _, c := range g.Comms() {
-		out[c.ID] = p[c.ID] * c.Volume / refRate
-	}
-	return out
+	return NewSession(m, refRate).StaticTimes(g)
 }
 
 // Penalties runs Times and normalizes by the idle-network time of each
@@ -96,4 +182,32 @@ func Penalties(g *graph.Graph, m core.Model, refRate float64) []float64 {
 		out[c.ID] = times[c.ID] / (c.Volume / refRate)
 	}
 	return out
+}
+
+// ModelNames lists the registry keys accepted by LookupModel, in the
+// order the CLIs document them.
+func ModelNames() []string {
+	return []string{"gige", "myrinet", "infiniband", "kimlee", "linear"}
+}
+
+// LookupModel resolves a model name to the penalty model and its
+// matching substrate engine (the substrate supplies the reference rate
+// and the "measured" side of -compare). "ib" is accepted as an alias
+// for "infiniband"; the baseline models run against the GigE substrate,
+// like the paper's Kim & Lee comparison.
+func LookupModel(name string) (core.Model, core.Engine, error) {
+	switch name {
+	case "gige":
+		return model.NewGigE(), gige.New(gige.DefaultConfig()), nil
+	case "myrinet":
+		return model.NewMyrinet(), myrinet.New(myrinet.DefaultConfig()), nil
+	case "infiniband", "ib":
+		return model.NewInfiniBand(), infiniband.New(infiniband.DefaultConfig()), nil
+	case "kimlee":
+		return model.KimLee{}, gige.New(gige.DefaultConfig()), nil
+	case "linear":
+		return model.Linear{}, gige.New(gige.DefaultConfig()), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q (want one of gige, myrinet, infiniband, kimlee, linear)", name)
+	}
 }

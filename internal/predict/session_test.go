@@ -1,0 +1,59 @@
+package predict_test
+
+import (
+	"testing"
+
+	"bwshare/internal/predict"
+	"bwshare/internal/schemes"
+)
+
+// TestSessionMatchesOneShot drives one reused Session across every
+// catalog scheme and model and checks each prediction against a fresh
+// one-shot call: scratch reuse must never leak state between schemes.
+func TestSessionMatchesOneShot(t *testing.T) {
+	for _, name := range predict.ModelNames() {
+		m, sub, err := predict.LookupModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := sub.RefRate()
+		sess := predict.NewSession(m, ref)
+		for _, sn := range schemes.Names() {
+			g, _ := schemes.Named(sn)
+			got := sess.Times(g)
+			want := predict.Times(g, m, ref)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d times, want %d", name, sn, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s/%s comm %d: session %g != one-shot %g", name, sn, i, got[i], want[i])
+				}
+			}
+			gotS := append([]float64(nil), sess.StaticTimes(g)...)
+			wantS := predict.StaticTimes(g, m, ref)
+			for i := range wantS {
+				if gotS[i] != wantS[i] {
+					t.Errorf("%s/%s comm %d: static %g != %g", name, sn, i, gotS[i], wantS[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLookupModelAliasAndError(t *testing.T) {
+	m, _, err := predict.LookupModel("ib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := predict.LookupModel("infiniband")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != m2.Name() {
+		t.Errorf("ib alias resolves to %q, want %q", m.Name(), m2.Name())
+	}
+	if _, _, err := predict.LookupModel("nope"); err == nil {
+		t.Error("unknown model should error")
+	}
+}

@@ -1,0 +1,87 @@
+// Prediction rendering shared by cmd/bwpredict and the bwserved HTTP
+// service: one JSON document type and one text renderer. The service's
+// text format is required to be byte-identical to bwpredict's stdout for
+// the same model and scheme (the CI smoke step diffs them), so both
+// programs call PredictionText instead of formatting on their own.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"bwshare/internal/graph"
+	"bwshare/internal/stats"
+)
+
+// CommPrediction is the JSON record for one communication.
+type CommPrediction struct {
+	Label         string  `json:"label"`
+	Src           int     `json:"src"`
+	Dst           int     `json:"dst"`
+	Volume        float64 `json:"volume_bytes"`
+	StaticPenalty float64 `json:"static_penalty"`
+	Time          float64 `json:"time_s"`
+}
+
+// Prediction is the JSON document for one scheme prediction, the
+// response body of bwserved's /v1/predict.
+type Prediction struct {
+	Model       string           `json:"model"`
+	Progressive bool             `json:"progressive"`
+	RefRate     float64          `json:"ref_rate_bytes_per_s"`
+	Cached      bool             `json:"cached"`
+	Comms       []CommPrediction `json:"comms"`
+}
+
+// BuildPrediction assembles the JSON document from per-communication
+// static penalties and predicted times (both indexed by graph.CommID).
+func BuildPrediction(modelName string, progressive bool, refRate float64, g *graph.Graph, pen, times []float64) Prediction {
+	p := Prediction{
+		Model:       modelName,
+		Progressive: progressive,
+		RefRate:     refRate,
+		Comms:       make([]CommPrediction, g.Len()),
+	}
+	for i := range p.Comms {
+		c := g.Comm(graph.CommID(i))
+		p.Comms[i] = CommPrediction{
+			Label:         c.Label,
+			Src:           int(c.Src),
+			Dst:           int(c.Dst),
+			Volume:        c.Volume,
+			StaticPenalty: pen[i],
+			Time:          times[i],
+		}
+	}
+	return p
+}
+
+// PredictionText renders the bwpredict report: a header line followed by
+// the per-communication table. pen and times are indexed by
+// graph.CommID. meas, if non-nil, appends the measured and relative
+// error columns and the Eabs footer (bwpredict -compare).
+func PredictionText(w io.Writer, modelName string, progressive bool, refRate float64, g *graph.Graph, pen, times, meas []float64) {
+	header := []string{"comm", "src", "dst", "static penalty", "time [s]"}
+	if meas != nil {
+		header = append(header, "measured [s]", "Erel [%]")
+	}
+	fmt.Fprintf(w, "model %s (progressive=%v), ref rate %.1f MB/s\n", modelName, progressive, refRate/1e6)
+	t := Table{Header: header}
+	for _, c := range g.Comms() {
+		row := []string{
+			c.Label, fmt.Sprint(c.Src), fmt.Sprint(c.Dst),
+			fmt.Sprintf("%.3f", pen[c.ID]),
+			fmt.Sprintf("%.4f", times[c.ID]),
+		}
+		if meas != nil {
+			row = append(row,
+				fmt.Sprintf("%.4f", meas[c.ID]),
+				fmt.Sprintf("%+.1f", stats.RelErr(times[c.ID], meas[c.ID])))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+	if meas != nil {
+		fmt.Fprintf(w, "  Eabs = %.1f%%\n", stats.AbsErr(times, meas))
+	}
+}

@@ -17,6 +17,7 @@ package schemelang
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -140,6 +141,47 @@ func ParseVolume(s string) (float64, error) {
 		return 0, fmt.Errorf("volume %q must be positive", s)
 	}
 	return v * mult, nil
+}
+
+// Canonical renders g in the canonical form used as a cache identity by
+// the prediction service: exactly Format's output, which is a pure
+// function of the communication sequence (label, src, dst, volume in id
+// order). Two graphs have the same canonical form iff graph.Equal holds,
+// and Parse(Canonical(g)) reproduces g.
+func Canonical(g *graph.Graph) string { return Format(g) }
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// Hash returns a 64-bit FNV-1a hash of the canonical communication
+// sequence of g (the same identity Canonical serializes) without
+// allocating, so it can key a response cache on the serving hot path.
+// Collisions must be confirmed with graph.Equal before trusting a hit.
+func Hash(g *graph.Graph) uint64 {
+	h := uint64(fnv64Offset)
+	for i, n := 0, g.Len(); i < n; i++ {
+		c := g.Comm(graph.CommID(i))
+		for j := 0; j < len(c.Label); j++ {
+			h = (h ^ uint64(c.Label[j])) * fnv64Prime
+		}
+		h = (h ^ '\n') * fnv64Prime // label terminator: "ab"+"c" != "a"+"bc"
+		h = hashU64(h, uint64(c.Src))
+		h = hashU64(h, uint64(c.Dst))
+		h = hashU64(h, math.Float64bits(c.Volume))
+	}
+	return h
+}
+
+// hashU64 folds one 64-bit word into an FNV-1a state byte by byte.
+func hashU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnv64Prime
+		v >>= 8
+	}
+	return h
 }
 
 // Format renders a graph back into the language (volumes in MB where

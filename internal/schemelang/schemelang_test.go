@@ -3,6 +3,7 @@ package schemelang
 import (
 	"testing"
 
+	"bwshare/internal/graph"
 	"bwshare/internal/schemes"
 )
 
@@ -123,5 +124,56 @@ func TestCommentAndWhitespaceTolerance(t *testing.T) {
 	}
 	if g.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestHashIdentity(t *testing.T) {
+	for _, name := range schemes.Names() {
+		g, _ := schemes.Named(name)
+		back, err := Parse(Canonical(g))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !graph.Equal(g, back) {
+			t.Errorf("%s: Parse(Canonical(g)) not Equal to g", name)
+		}
+		if Hash(g) != Hash(back) {
+			t.Errorf("%s: hash changed across canonical round trip", name)
+		}
+	}
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	base := graph.NewBuilder().Add("a", 0, 1, 20e6).Add("b", 0, 2, 20e6).MustBuild()
+	variants := []*graph.Graph{
+		graph.NewBuilder().Add("a", 0, 1, 20e6).Add("c", 0, 2, 20e6).MustBuild(), // label
+		graph.NewBuilder().Add("a", 3, 1, 20e6).Add("b", 0, 2, 20e6).MustBuild(), // src
+		graph.NewBuilder().Add("a", 0, 4, 20e6).Add("b", 0, 2, 20e6).MustBuild(), // dst
+		graph.NewBuilder().Add("a", 0, 1, 10e6).Add("b", 0, 2, 20e6).MustBuild(), // volume
+		graph.NewBuilder().Add("a", 0, 1, 20e6).MustBuild(),                      // length
+		graph.NewBuilder().Add("b", 0, 2, 20e6).Add("a", 0, 1, 20e6).MustBuild(), // order
+	}
+	for i, v := range variants {
+		if graph.Equal(base, v) {
+			t.Errorf("variant %d: Equal should be false", i)
+		}
+		if Hash(base) == Hash(v) {
+			t.Errorf("variant %d: hash collision with base", i)
+		}
+	}
+}
+
+func TestHashZeroAlloc(t *testing.T) {
+	g, _ := schemes.Named("mk2")
+	if n := testing.AllocsPerRun(100, func() { Hash(g) }); n != 0 {
+		t.Errorf("Hash allocates %v per run, want 0", n)
+	}
+	h := Hash(g)
+	if n := testing.AllocsPerRun(100, func() {
+		if !graph.Equal(g, g) || Hash(g) != h {
+			t.Fatal("identity broke")
+		}
+	}); n != 0 {
+		t.Errorf("Equal+Hash allocate %v per run, want 0", n)
 	}
 }

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"sync"
+
+	"bwshare/internal/graph"
+)
+
+// cacheKey identifies one cached prediction: canonical scheme hash x
+// model x static/progressive x reference rate. The scheme hash can
+// collide, so hits are confirmed against the stored graph with
+// graph.Equal before being served.
+type cacheKey struct {
+	hash   uint64
+	model  string
+	static bool
+	ref    float64
+}
+
+// entry is one LRU cache slot. The stored slices are immutable once
+// inserted: readers hand them out without copying.
+type entry struct {
+	key        cacheKey
+	g          *graph.Graph
+	pen, times []float64
+
+	prev, next *entry // intrusive LRU list, most recent at head
+}
+
+// lru is a mutex-guarded fixed-capacity LRU map. The hit path performs
+// no allocation: a map lookup, a graph.Equal confirmation and an
+// intrusive list splice.
+type lru struct {
+	mu         sync.Mutex
+	cap        int
+	byKey      map[cacheKey]*entry
+	head, tail *entry
+}
+
+// newLRU returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (every get misses, every put is dropped).
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, byKey: make(map[cacheKey]*entry)}
+}
+
+// get returns the entry for key after confirming the stored graph
+// matches g, promoting it to most recently used.
+func (c *lru) get(key cacheKey, g *graph.Graph) *entry {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.byKey[key]
+	if e == nil || !graph.Equal(e.g, g) {
+		return nil
+	}
+	c.moveToFront(e)
+	return e
+}
+
+// put inserts an entry, evicting the least recently used slot when full.
+// A concurrent insert of the same key is overwritten (last writer wins;
+// both computed identical values for identical inputs).
+func (c *lru) put(e *entry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.byKey[e.key]; old != nil {
+		c.unlink(old)
+		delete(c.byKey, old.key)
+	}
+	for len(c.byKey) >= c.cap {
+		lruEntry := c.tail
+		c.unlink(lruEntry)
+		delete(c.byKey, lruEntry.key)
+	}
+	c.byKey[e.key] = e
+	c.pushFront(e)
+}
+
+// len returns the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+func (c *lru) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *lru) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lru) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,500 @@
+// Package server implements the bwserved HTTP prediction service: the
+// paper's penalty models behind a JSON API, backed by a bounded worker
+// pool of reusable predict.Sessions and an LRU response cache keyed by
+// canonical scheme hash x model x reference rate.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/predict        one scheme in (catalog name, scheme text or
+//	                        structured comms), per-communication static
+//	                        penalties and predicted times out;
+//	                        ?format=text renders exactly bwpredict's
+//	                        stdout for the same model and scheme
+//	GET  /v1/predict        catalog convenience: ?name=s4&model=gige
+//	POST /v1/predict/batch  up to MaxBatch predict requests in one call
+//	GET  /v1/models         model registry with reference rates
+//	GET  /v1/schemes        built-in scheme catalog
+//	GET  /v1/healthz        liveness probe
+//	GET  /v1/stats          request and cache counters
+//
+// Repeated schemes are served from the cache without touching the
+// simulator; the hit path performs zero heap allocations (benchmarked in
+// internal/benchsuite).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"bwshare/internal/core"
+	"bwshare/internal/graph"
+	"bwshare/internal/predict"
+	"bwshare/internal/report"
+	"bwshare/internal/schemelang"
+	"bwshare/internal/schemes"
+)
+
+// MaxBatch bounds the number of requests in one /v1/predict/batch call.
+const MaxBatch = 256
+
+// MaxComms and MaxNodeID bound accepted schemes: generous for cluster
+// communication schemes (the paper's largest has 10 communications) but
+// small enough that a hostile request cannot make the models' conflict
+// analysis or the engine's dense per-node tables arbitrarily expensive.
+const (
+	MaxComms  = 4096
+	MaxNodeID = 1 << 16
+)
+
+// maxBodyBytes bounds request bodies; schemes are small text documents.
+const maxBodyBytes = 1 << 20
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds how many predictions run concurrently; each worker
+	// owns reusable per-model simulator sessions. Default GOMAXPROCS.
+	Workers int
+	// CacheSize is the LRU response-cache capacity in entries. 0 picks
+	// the default (1024); negative disables caching.
+	CacheSize int
+}
+
+// Server is the HTTP prediction service. Create with New.
+type Server struct {
+	cfg    Config
+	canon  map[string]string // accepted model name -> canonical name
+	models map[string]core.Model
+	refs   map[string]float64 // canonical name -> substrate reference rate
+	pool   chan *worker
+	cache  *lru
+	mux    *http.ServeMux
+
+	requests    atomic.Int64
+	errors      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// worker holds the per-model prediction sessions of one pool slot. A
+// worker is owned by at most one request at a time, so its sessions'
+// scratch reuse is race-free.
+type worker struct {
+	sessions map[sessKey]*predict.Session
+}
+
+type sessKey struct {
+	model string
+	ref   float64
+}
+
+// session returns the worker's session for (model, ref), creating it on
+// first use.
+func (w *worker) session(m core.Model, name string, ref float64) *predict.Session {
+	k := sessKey{name, ref}
+	s := w.sessions[k]
+	if s == nil {
+		s = predict.NewSession(m, ref)
+		w.sessions[k] = s
+	}
+	return s
+}
+
+// New builds a Server. The model registry is fixed at construction: every
+// name accepted by predict.LookupModel is served.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	s := &Server{
+		cfg:    cfg,
+		canon:  make(map[string]string),
+		models: make(map[string]core.Model),
+		refs:   make(map[string]float64),
+		pool:   make(chan *worker, cfg.Workers),
+		cache:  newLRU(cfg.CacheSize),
+		mux:    http.NewServeMux(),
+	}
+	for _, name := range predict.ModelNames() {
+		m, sub, err := predict.LookupModel(name)
+		if err != nil {
+			panic("server: registry: " + err.Error())
+		}
+		s.canon[name] = name
+		s.models[name] = m
+		s.refs[name] = sub.RefRate()
+	}
+	s.canon["ib"] = "infiniband"
+	for i := 0; i < cfg.Workers; i++ {
+		s.pool <- &worker{sessions: make(map[sessKey]*predict.Session)}
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Result is the outcome of one prediction. Penalties and Times are
+// indexed by graph.CommID and may be shared with the response cache:
+// callers must not mutate them.
+type Result struct {
+	Model     string // canonical model name
+	RefRate   float64
+	Penalties []float64
+	Times     []float64
+	Cached    bool
+}
+
+// Predict computes (or serves from cache) the prediction for g under the
+// named model. refOverride, when positive, replaces the substrate's
+// default reference rate. The cache-hit path allocates nothing.
+func (s *Server) Predict(g *graph.Graph, modelName string, static bool, refOverride float64) (Result, error) {
+	name, ok := s.canon[modelName]
+	if !ok {
+		return Result{}, fmt.Errorf("unknown model %q (see /v1/models)", modelName)
+	}
+	if refOverride < 0 {
+		return Result{}, fmt.Errorf("ref_rate must be positive, got %g", refOverride)
+	}
+	ref := refOverride
+	if ref == 0 {
+		ref = s.refs[name]
+	}
+	key := cacheKey{hash: schemelang.Hash(g), model: name, static: static, ref: ref}
+	if e := s.cache.get(key, g); e != nil {
+		s.cacheHits.Add(1)
+		return Result{Model: name, RefRate: ref, Penalties: e.pen, Times: e.times, Cached: true}, nil
+	}
+	s.cacheMisses.Add(1)
+	pen, times, err := s.compute(g, name, static, ref)
+	if err != nil {
+		return Result{}, err
+	}
+	s.cache.put(&entry{key: key, g: g, pen: pen, times: times})
+	return Result{Model: name, RefRate: ref, Penalties: pen, Times: times, Cached: false}, nil
+}
+
+// compute runs the simulator on a pooled worker. The worker is returned
+// to the pool even if the engine panics on a degenerate scheme (a lost
+// worker would shrink the pool until the service deadlocks), and the
+// panic is converted to an error for the HTTP layer.
+func (s *Server) compute(g *graph.Graph, name string, static bool, ref float64) (pen, times []float64, err error) {
+	w := <-s.pool
+	defer func() {
+		s.pool <- w
+		if r := recover(); r != nil {
+			err = fmt.Errorf("prediction failed: %v", r)
+		}
+	}()
+	// Sessions are cached per model only at the substrate's default
+	// reference rate; a request-supplied ref_rate gets a throwaway
+	// session so clients cannot grow the per-worker session map without
+	// bound by sweeping rates.
+	var sess *predict.Session
+	if ref == s.refs[name] {
+		sess = w.session(s.models[name], name, ref)
+	} else {
+		sess = predict.NewSession(s.models[name], ref)
+	}
+	pen = sess.StaticPenalties(g)
+	if static {
+		times = sess.StaticTimes(g)
+	} else {
+		times = sess.Times(g)
+	}
+	times = append([]float64(nil), times...) // session scratch: copy out
+	return pen, times, nil
+}
+
+// Model returns the registered model for a canonical name (nil if
+// unknown).
+func (s *Server) Model(name string) core.Model { return s.models[name] }
+
+// PredictRequest is the body of POST /v1/predict. Exactly one of Name,
+// Scheme or Comms selects the communication scheme.
+type PredictRequest struct {
+	// Model is a model registry name ("gige", "myrinet", "infiniband",
+	// "ib", "kimlee", "linear"). Default "gige".
+	Model string `json:"model,omitempty"`
+	// Name selects a built-in catalog scheme (see /v1/schemes).
+	Name string `json:"name,omitempty"`
+	// Scheme is a scheme description in the schemelang syntax.
+	Scheme string `json:"scheme,omitempty"`
+	// Comms is the structured alternative to Scheme.
+	Comms []CommRequest `json:"comms,omitempty"`
+	// Static selects the static formulas instead of the progressive
+	// simulator.
+	Static bool `json:"static,omitempty"`
+	// RefRate overrides the substrate reference rate (bytes/second).
+	RefRate float64 `json:"ref_rate,omitempty"`
+}
+
+// CommRequest is one structured communication. An empty Label is
+// auto-assigned c<index>; a zero Volume means schemelang.DefaultVolume.
+type CommRequest struct {
+	Label  string  `json:"label,omitempty"`
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Volume float64 `json:"volume,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/predict/batch.
+type BatchRequest struct {
+	Requests []PredictRequest `json:"requests"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredictPost)
+	s.mux.HandleFunc("GET /v1/predict", s.handlePredictGet)
+	s.mux.HandleFunc("POST /v1/predict/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
+
+func (s *Server) handlePredictPost(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req PredictRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	s.servePredict(w, r, req)
+}
+
+func (s *Server) handlePredictGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q := r.URL.Query()
+	req := PredictRequest{
+		Model:  q.Get("model"),
+		Name:   q.Get("name"),
+		Static: q.Get("static") == "true" || q.Get("static") == "1",
+	}
+	if req.Name == "" {
+		s.writeError(w, http.StatusBadRequest, "GET /v1/predict needs ?name=<catalog scheme>; POST a body for scheme text")
+		return
+	}
+	s.servePredict(w, r, req)
+}
+
+// servePredict resolves the scheme, predicts, and renders either JSON or
+// (format=text) the exact bwpredict stdout for the same model and flags.
+func (s *Server) servePredict(w http.ResponseWriter, r *http.Request, req PredictRequest) {
+	g, res, err := s.resolveAndPredict(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		report.PredictionText(w, s.models[res.Model].Name(), !req.Static, res.RefRate, g, res.Penalties, res.Times, nil)
+		return
+	}
+	p := report.BuildPrediction(s.models[res.Model].Name(), !req.Static, res.RefRate, g, res.Penalties, res.Times)
+	p.Cached = res.Cached
+	s.writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > MaxBatch {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), MaxBatch))
+		return
+	}
+	results := make([]any, len(req.Requests))
+	for i, one := range req.Requests {
+		g, res, err := s.resolveAndPredict(one)
+		if err != nil {
+			s.errors.Add(1)
+			results[i] = errorBody{Error: err.Error()}
+			continue
+		}
+		p := report.BuildPrediction(s.models[res.Model].Name(), !one.Static, res.RefRate, g, res.Penalties, res.Times)
+		p.Cached = res.Cached
+		results[i] = p
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// resolveAndPredict turns a request into a graph and runs Predict.
+func (s *Server) resolveAndPredict(req PredictRequest) (*graph.Graph, Result, error) {
+	g, err := resolveGraph(req)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	model := req.Model
+	if model == "" {
+		model = "gige"
+	}
+	res, err := s.Predict(g, model, req.Static, req.RefRate)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return g, res, nil
+}
+
+// resolveGraph builds the scheme graph from exactly one of the three
+// request forms and enforces the service's size limits.
+func resolveGraph(req PredictRequest) (*graph.Graph, error) {
+	g, err := resolveGraphForm(req)
+	if err != nil {
+		return nil, err
+	}
+	if g.Len() > MaxComms {
+		return nil, fmt.Errorf("scheme has %d communications, limit %d", g.Len(), MaxComms)
+	}
+	if g.MaxNode() >= MaxNodeID {
+		return nil, fmt.Errorf("node id %d exceeds limit %d", g.MaxNode(), MaxNodeID-1)
+	}
+	return g, nil
+}
+
+func resolveGraphForm(req PredictRequest) (*graph.Graph, error) {
+	set := 0
+	if req.Name != "" {
+		set++
+	}
+	if req.Scheme != "" {
+		set++
+	}
+	if len(req.Comms) > 0 {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("exactly one of name, scheme or comms must be given")
+	}
+	switch {
+	case req.Name != "":
+		g, ok := schemes.Named(req.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme %q (see /v1/schemes)", req.Name)
+		}
+		return g, nil
+	case req.Scheme != "":
+		return schemelang.Parse(req.Scheme)
+	default:
+		b := graph.NewBuilder()
+		for i, c := range req.Comms {
+			label := c.Label
+			if label == "" {
+				label = fmt.Sprintf("c%d", i)
+			}
+			vol := c.Volume
+			if vol == 0 {
+				vol = schemelang.DefaultVolume
+			}
+			b.Add(label, graph.NodeID(c.Src), graph.NodeID(c.Dst), vol)
+		}
+		return b.Build()
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	type modelInfo struct {
+		Name    string  `json:"name"`
+		RefRate float64 `json:"ref_rate_bytes_per_s"`
+	}
+	out := make([]modelInfo, 0, len(s.refs))
+	for _, name := range predict.ModelNames() {
+		out = append(out, modelInfo{Name: name, RefRate: s.refs[name]})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	type schemeInfo struct {
+		Name   string `json:"name"`
+		Comms  int    `json:"comms"`
+		Nodes  int    `json:"nodes"`
+		Scheme string `json:"scheme"`
+	}
+	names := schemes.Names()
+	out := make([]schemeInfo, 0, len(names))
+	for _, name := range names {
+		g, _ := schemes.Named(name)
+		out = append(out, schemeInfo{
+			Name:   name,
+			Comms:  g.Len(),
+			Nodes:  g.NumNodes(),
+			Scheme: schemelang.Canonical(g),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"schemes": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	Requests      int64 `json:"requests"`
+	Errors        int64 `json:"errors"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheCapacity int   `json:"cache_capacity"`
+	Workers       int   `json:"workers"`
+}
+
+// Snapshot returns the current counters.
+func (s *Server) Snapshot() Stats {
+	return Stats{
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		CacheEntries:  s.cache.len(),
+		CacheCapacity: max(s.cfg.CacheSize, 0),
+		Workers:       s.cfg.Workers,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.errors.Add(1)
+	data, _ := json.Marshal(errorBody{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

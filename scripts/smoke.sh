@@ -1,0 +1,67 @@
+#!/bin/sh
+# End-to-end smoke: build bwserved and bwpredict, start the server, and
+# require /v1/predict?format=text to be byte-identical to bwpredict's
+# stdout for catalog schemes — twice per scheme, so the second response
+# exercises the cache. Used by `make smoke` and the CI smoke job.
+set -eu
+
+GO=${GO:-go}
+bin=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/bwserved ./cmd/bwpredict
+
+"$bin/bwserved" -addr 127.0.0.1:0 >"$bin/served.log" 2>&1 &
+pid=$!
+
+base=""
+i=0
+while [ $i -lt 100 ]; do
+	base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$bin/served.log")
+	[ -n "$base" ] && break
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "smoke: bwserved exited early:" >&2
+		cat "$bin/served.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$base" ]; then
+	echo "smoke: bwserved did not announce an address" >&2
+	cat "$bin/served.log" >&2
+	exit 1
+fi
+
+curl -sf "$base/v1/healthz" >/dev/null
+
+fail=0
+for spec in s4:gige s6:gige mk2:myrinet fig5:myrinet fig4:infiniband; do
+	scheme=${spec%%:*}
+	model=${spec##*:}
+	"$bin/bwpredict" -model "$model" -scheme "$scheme" >"$bin/want.txt"
+	for pass in uncached cached; do
+		curl -sf "$base/v1/predict?format=text&name=$scheme&model=$model" >"$bin/got.txt"
+		if ! cmp -s "$bin/want.txt" "$bin/got.txt"; then
+			echo "smoke: MISMATCH ($pass) $scheme/$model:" >&2
+			diff "$bin/want.txt" "$bin/got.txt" >&2 || true
+			fail=1
+		fi
+	done
+done
+
+hits=$(curl -sf "$base/v1/stats" | sed -n 's/.*"cache_hits": \([0-9][0-9]*\).*/\1/p')
+if [ "${hits:-0}" -lt 1 ]; then
+	echo "smoke: expected cache hits in /v1/stats, got '${hits:-none}'" >&2
+	fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+	echo "smoke: bwserved responses byte-identical to bwpredict (cache hits: $hits)"
+fi
+exit "$fail"
