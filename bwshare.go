@@ -59,6 +59,7 @@ import (
 	"bwshare/internal/schemelang"
 	"bwshare/internal/schemes"
 	"bwshare/internal/stats"
+	"bwshare/internal/topology"
 	"bwshare/internal/trace"
 )
 
@@ -99,6 +100,10 @@ type (
 	RandomSchemeConfig = randgen.SchemeConfig
 	// RandomTraceConfig bounds the seeded random trace generator.
 	RandomTraceConfig = randgen.TraceConfig
+	// Topology describes a multi-switch fabric (single crossbar,
+	// star-of-switches or two-level fat-tree; see internal/topology).
+	// The zero value is the paper's single crossbar.
+	Topology = topology.Spec
 )
 
 // AnySource is the wildcard receive peer (MPI_ANY_SOURCE).
@@ -113,6 +118,16 @@ func ParseScheme(src string) (*Scheme, error) { return schemelang.Parse(src) }
 
 // FormatScheme renders a scheme in the description language.
 func FormatScheme(g *Scheme) string { return schemelang.Format(g) }
+
+// ParseTopology parses a fabric description such as "crossbar",
+// "star 4x8" or "fattree 4x8 oversub 2 place roundrobin".
+func ParseTopology(src string) (Topology, error) { return topology.ParseSpec(src) }
+
+// ParseSchemeWithTopology parses a scheme together with its optional
+// 'topology:' and 'place:' headers.
+func ParseSchemeWithTopology(src string) (*Scheme, Topology, error) {
+	return schemelang.ParseWithTopology(src)
+}
 
 // NamedScheme returns a scheme from the paper's registry
 // (s1..s6, fig4, fig5, mk1, mk2).
@@ -142,16 +157,39 @@ func LinearModel() Model { return model.Linear{} }
 // calibrated default configuration.
 func NewGigE() Engine { return gige.New(gige.DefaultConfig()) }
 
+// NewGigEOn builds the GigE substrate on a multi-switch fabric: flows
+// crossing edge switches share the fabric's uplink capacities. The
+// zero Topology reproduces NewGigE exactly.
+func NewGigEOn(topo Topology) Engine {
+	cfg := gige.DefaultConfig()
+	cfg.Topo = topo
+	return gige.New(cfg)
+}
+
 // NewMyrinet builds the Myrinet 2000 packet-level substrate engine.
 func NewMyrinet() Engine { return myrinet.New(myrinet.DefaultConfig()) }
 
 // NewInfiniBand builds the InfiniBand substrate engine.
 func NewInfiniBand() Engine { return infiniband.New(infiniband.DefaultConfig()) }
 
+// NewInfiniBandOn builds the InfiniBand substrate on a multi-switch
+// fabric. The zero Topology reproduces NewInfiniBand exactly.
+func NewInfiniBandOn(topo Topology) Engine {
+	cfg := infiniband.DefaultConfig()
+	cfg.Topo = topo
+	return infiniband.New(cfg)
+}
+
 // NewPredictor wraps a penalty model as an engine that applies the
 // paper's progressive penalty re-evaluation. refRate is the idle-network
 // single-flow rate in bytes/second.
 func NewPredictor(m Model, refRate float64) Engine { return predict.NewEngine(m, refRate) }
+
+// NewPredictorOn is NewPredictor on a multi-switch fabric: model-given
+// rates are additionally capped by the fabric's shared uplinks.
+func NewPredictorOn(m Model, refRate float64, topo Topology) Engine {
+	return predict.NewEngineWithTopology(m, refRate, topo)
+}
 
 // Measure runs a scheme on an engine with all communications starting
 // simultaneously (the paper's benchmark protocol) and reports times and

@@ -7,6 +7,11 @@
 //	bwpredict -model myrinet -scheme mk2
 //	bwpredict -model gige -file myscheme.txt -static
 //	bwpredict -model gige -scheme s5 -compare   # side by side with substrate
+//	bwpredict -model gige -scheme s6 -topology "fattree 2x4 oversub 4"
+//
+// A scheme file may declare its fabric with a 'topology:' header
+// instead of the -topology flag (not both). On a multi-switch fabric
+// the report gains a per-uplink utilization table.
 package main
 
 import (
@@ -16,12 +21,14 @@ import (
 	"os"
 	"strings"
 
+	"bwshare/internal/core"
 	"bwshare/internal/graph"
 	"bwshare/internal/measure"
 	"bwshare/internal/predict"
 	"bwshare/internal/report"
 	"bwshare/internal/schemelang"
 	"bwshare/internal/schemes"
+	"bwshare/internal/topology"
 )
 
 func main() {
@@ -38,19 +45,43 @@ func run(args []string, out io.Writer) error {
 	file := fs.String("file", "", "scheme description file ('-' for stdin)")
 	static := fs.Bool("static", false, "use the static formulas instead of the progressive simulator")
 	compare := fs.Bool("compare", false, "also run the matching substrate and print errors")
+	refFlag := fs.Float64("ref", 0, "reference rate override in bytes/second (0 = substrate default)")
+	topoFlag := fs.String("topology", "", `switch fabric, e.g. "fattree 2x4 oversub 2" (default: the scheme's header, or a crossbar)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := loadScheme(*schemeName, *file)
+	// Flag parsing happily produces negative, NaN and ±Inf floats;
+	// reject them here instead of predicting garbage penalties.
+	if !core.ValidRefRate(*refFlag) {
+		return fmt.Errorf("-ref must be a positive finite rate in bytes/second, got %g", *refFlag)
+	}
+	g, topo, err := loadScheme(*schemeName, *file)
 	if err != nil {
 		return err
+	}
+	if *topoFlag != "" {
+		if !topo.Trivial() {
+			return fmt.Errorf("the scheme file already declares topology %q; drop -topology", topo)
+		}
+		if topo, err = topology.ParseSpec(*topoFlag); err != nil {
+			return err
+		}
+		if err := topo.CheckFit(g.MaxNode()); err != nil {
+			return err
+		}
+	}
+	if !topo.Trivial() && *static {
+		return fmt.Errorf("-static is crossbar-only (the static formulas cannot see the fabric); drop -static or the topology")
 	}
 	m, sub, err := predict.LookupModel(*modelName)
 	if err != nil {
 		return err
 	}
-	ref := sub.RefRate()
-	sess := predict.NewSession(m, ref)
+	ref := *refFlag
+	if ref == 0 {
+		ref = sub.RefRate()
+	}
+	sess := predict.NewSessionWithTopology(m, ref, topo)
 	// Penalties first: times points into session scratch, which is only
 	// valid until the next Session call.
 	pen := sess.StaticPenalties(g)
@@ -62,35 +93,47 @@ func run(args []string, out io.Writer) error {
 	}
 	var meas []float64
 	if *compare {
+		if !topo.Trivial() {
+			return fmt.Errorf("-compare with -topology is not supported yet (the catalog substrates are crossbar-calibrated)")
+		}
+		if *refFlag != 0 {
+			// The substrate always measures at its calibrated rate; error
+			// columns against a prediction at a different rate would
+			// quantify the rate mismatch, not the model.
+			return fmt.Errorf("-compare uses the substrate's calibrated rate; drop -ref")
+		}
 		meas = measure.Run(sub, g).Times
 	}
 	report.PredictionText(out, m.Name(), !*static, ref, g, pen, times, meas)
+	if !topo.Trivial() {
+		report.LinkUtilText(out, topo, report.BuildLinkUtil(topo, g, times, ref))
+	}
 	return nil
 }
 
-func loadScheme(name, file string) (*graph.Graph, error) {
+func loadScheme(name, file string) (*graph.Graph, topology.Spec, error) {
 	switch {
 	case name != "" && file != "":
-		return nil, fmt.Errorf("use either -scheme or -file, not both")
+		return nil, topology.Spec{}, fmt.Errorf("use either -scheme or -file, not both")
 	case name != "":
 		g, ok := schemes.Named(name)
 		if !ok {
-			return nil, fmt.Errorf("unknown scheme %q", name)
+			return nil, topology.Spec{}, fmt.Errorf("unknown scheme %q", name)
 		}
-		return g, nil
+		return g, topology.Spec{}, nil
 	case file == "-":
 		src, err := io.ReadAll(os.Stdin)
 		if err != nil {
-			return nil, err
+			return nil, topology.Spec{}, err
 		}
-		return schemelang.Parse(string(src))
+		return schemelang.ParseWithTopology(string(src))
 	case file != "":
 		src, err := os.ReadFile(file)
 		if err != nil {
-			return nil, err
+			return nil, topology.Spec{}, err
 		}
-		return schemelang.Parse(string(src))
+		return schemelang.ParseWithTopology(string(src))
 	default:
-		return nil, fmt.Errorf("need -scheme <name> or -file <path>")
+		return nil, topology.Spec{}, fmt.Errorf("need -scheme <name> or -file <path>")
 	}
 }

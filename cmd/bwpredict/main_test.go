@@ -60,10 +60,53 @@ func TestPredictErrors(t *testing.T) {
 		{"-model", "nope", "-scheme", "s1"},
 		{"-model", "gige"},
 		{"-model", "gige", "-scheme", "bogus"},
+		// Non-positive and non-finite reference rates survive flag
+		// parsing; the boundary must reject them.
+		{"-model", "gige", "-scheme", "s1", "-ref", "-1"},
+		{"-model", "gige", "-scheme", "s1", "-ref", "0.0e0x"},
+		{"-model", "gige", "-scheme", "s1", "-ref", "Inf"},
+		{"-model", "gige", "-scheme", "s1", "-ref", "NaN"},
+		// -compare columns are only meaningful at the substrate's own
+		// calibrated rate and on its crossbar fabric.
+		{"-model", "gige", "-scheme", "s1", "-compare", "-ref", "1e6"},
+		{"-model", "gige", "-scheme", "s6", "-compare", "-topology", "fattree 2x4 oversub 2"},
+		// The static formulas cannot see a fabric.
+		{"-model", "gige", "-scheme", "s6", "-static", "-topology", "fattree 2x4 oversub 2"},
+		// Bad and conflicting topology declarations.
+		{"-model", "gige", "-scheme", "s6", "-topology", "mesh 2x4"},
+		{"-model", "gige", "-scheme", "s6", "-topology", "star 2x2"}, // s6 has 7 nodes
 	} {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
+	}
+}
+
+// TestPredictTopologyFlag: the -topology flag produces the same output
+// as the equivalent scheme-file header, including the link table.
+func TestPredictTopologyFlag(t *testing.T) {
+	g, _ := schemes.Named("s6")
+	path := filepath.Join(t.TempDir(), "s6topo.txt")
+	src := "topology: fattree 2x4 oversub 4\n" + schemelang.Format(g)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, fromFlag strings.Builder
+	if err := run([]string{"-model", "gige", "-file", path}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "gige", "-scheme", "s6", "-topology", "fattree 2x4 oversub 4"}, &fromFlag); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != fromFlag.String() {
+		t.Errorf("-topology flag differs from file header:\n%s\nvs\n%s", fromFile.String(), fromFlag.String())
+	}
+	if !strings.Contains(fromFlag.String(), "topology fattree 2x4 oversub 4 place block") {
+		t.Errorf("missing link table:\n%s", fromFlag.String())
+	}
+	// A file header plus the flag is ambiguous.
+	if err := run([]string{"-model", "gige", "-file", path, "-topology", "star 2x4"}, &fromFlag); err == nil {
+		t.Error("file header plus -topology accepted")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"bwshare/internal/randgen"
 	"bwshare/internal/schemes"
 	"bwshare/internal/server"
+	"bwshare/internal/topology"
 )
 
 // Benchmark is one named benchmark function.
@@ -125,10 +126,17 @@ func (referenceWaterFillAllocator) Allocate(flows []*netsim.Flow) {
 	netsim.ReferenceWaterFill(flows, 0.75*125e6, nil, nil, 125e6, 125e6)
 }
 
+// benchTopo is the fabric used by the topology benchmarks: the 16-node
+// bench scheme on four 4-host edge switches with a 4:1 oversubscribed
+// fat-tree core (the PR-4 acceptance configuration).
+var benchTopo = topology.Spec{Kind: topology.FatTree, Switches: 4, HostsPerSwitch: 4, Oversub: 4, Place: topology.Block}
+
 // Suite returns the canonical benchmark list in presentation order.
 func Suite() []Benchmark {
 	gigeCfg := gige.DefaultConfig().Coupled()
 	ibCfg := infiniband.DefaultConfig().Coupled()
+	gigeTopoCfg := gigeCfg
+	gigeTopoCfg.Topo = benchTopo
 	s6 := schemes.Fig2(6)
 	rand32 := randomScheme32()
 	return []Benchmark{
@@ -140,6 +148,11 @@ func Suite() []Benchmark {
 		{"CoupledAllocator/ref/gige/32", allocBench(func() netsim.Allocator { return &netsim.ReferenceAllocator{Cfg: gigeCfg} })},
 		{"CoupledAllocator/opt/infiniband/32", allocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: ibCfg} })},
 		{"CoupledAllocator/ref/infiniband/32", allocBench(func() netsim.Allocator { return &netsim.ReferenceAllocator{Cfg: ibCfg} })},
+		// Topology-aware hot path: same scheme on the oversubscribed
+		// fat-tree vs its map-based oracle (PR-4 acceptance pair: the
+		// opt side must stay at 0 allocs/op).
+		{"CoupledAllocator/opt/gige-fattree/32", allocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: gigeTopoCfg} })},
+		{"CoupledAllocator/ref/gige-fattree/32", allocBench(func() netsim.Allocator { return &netsim.ReferenceTopoAllocator{Cfg: gigeTopoCfg} })},
 		// Whole-substrate runs: fluid engines on the S6 scheme and the
 		// 32-flow random scheme, and the packet-level Myrinet engine.
 		{"Substrate/gige/S6", engineBench(func() core.Engine { return gige.New(gige.DefaultConfig()) }, s6)},
@@ -152,13 +165,13 @@ func Suite() []Benchmark {
 		// session; session is the raw reusable-session predict.
 		{"Server/predict/hit/s6", func(b *testing.B) {
 			s := server.New(server.Config{Workers: 1, CacheSize: 16})
-			if _, err := s.Predict(s6, "gige", false, 0); err != nil {
+			if _, err := s.Predict(s6, "gige", false, 0, topology.Spec{}); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := s.Predict(s6, "gige", false, 0)
+				r, err := s.Predict(s6, "gige", false, 0, topology.Spec{})
 				if err != nil || !r.Cached {
 					b.Fatal("expected a cache hit")
 				}
@@ -166,15 +179,31 @@ func Suite() []Benchmark {
 		}},
 		{"Server/predict/miss/s6", func(b *testing.B) {
 			s := server.New(server.Config{Workers: 1, CacheSize: -1})
-			if _, err := s.Predict(s6, "gige", false, 0); err != nil {
+			if _, err := s.Predict(s6, "gige", false, 0, topology.Spec{}); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := s.Predict(s6, "gige", false, 0)
+				r, err := s.Predict(s6, "gige", false, 0, topology.Spec{})
 				if err != nil || r.Cached {
 					b.Fatal("expected an uncached prediction")
+				}
+			}
+		}},
+		// Topology-keyed cache hit: the extended key (hash x model x ref
+		// x fabric) must keep the hit path at 0 allocs/op.
+		{"Server/predict/hit/rand32-fattree", func(b *testing.B) {
+			s := server.New(server.Config{Workers: 1, CacheSize: 16})
+			if _, err := s.Predict(rand32, "gige", false, 0, benchTopo); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := s.Predict(rand32, "gige", false, 0, benchTopo)
+				if err != nil || !r.Cached {
+					b.Fatal("expected a cache hit")
 				}
 			}
 		}},

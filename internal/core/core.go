@@ -16,8 +16,20 @@
 package core
 
 import (
+	"math"
+
 	"bwshare/internal/graph"
 )
+
+// ValidRefRate reports whether a reference-rate override is acceptable
+// at a trust boundary: zero (use the substrate default) or a positive
+// finite rate in bytes/second. Negative, NaN and ±Inf values all
+// survive JSON/flag parsing and would otherwise propagate garbage into
+// every penalty, so the HTTP service and the CLIs reject them up front
+// with this shared check.
+func ValidRefRate(ref float64) bool {
+	return ref == 0 || (ref > 0 && !math.IsInf(ref, 0) && !math.IsNaN(ref))
+}
 
 // Model is a predictive bandwidth-sharing penalty model (Section V).
 type Model interface {

@@ -68,6 +68,9 @@ func Specs(opt Options) []Spec {
 		{ID: "x1", Title: "EXP-X1 - many-core conflict degrees", Run: func() (string, error) {
 			return MulticoreTable(Multicore()) + "\n", nil
 		}},
+		{ID: "topo", Title: "EXP-TOPO - fat-tree oversubscription sweep", Run: func() (string, error) {
+			return TopoTable(TopoSweep()) + "\n", nil
+		}},
 	}
 	if opt.Sweep.N > 0 {
 		sweep := opt.Sweep

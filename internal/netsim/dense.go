@@ -67,6 +67,9 @@ func (it *interner) intern(v int) (slot int32, fresh bool) {
 
 // denseFill is the slice-backed progressive-filling state: per-flow
 // interned endpoint slots plus per-slot capacities and unfrozen counts.
+// The topology extension (topo.go) adds per-flow uplink/downlink slots
+// (-1 when a flow stays inside one edge switch) with per-slot link
+// capacities; they stay empty on the single-crossbar path.
 type denseFill struct {
 	sidx, ridx []int32 // per flow: sender / receiver slot
 
@@ -74,6 +77,12 @@ type denseFill struct {
 	sndCount         []int32
 	rcvLeft, rcvOrig []float64
 	rcvCount         []int32
+
+	uidx, didx     []int32 // per flow: uplink / downlink slot, -1 if intra-switch
+	upLeft, upOrig []float64
+	upCount        []int32
+	dnLeft, dnOrig []float64
+	dnCount        []int32
 
 	frozen []bool
 }
@@ -88,6 +97,14 @@ func (d *denseFill) reset() {
 	d.rcvLeft = d.rcvLeft[:0]
 	d.rcvOrig = d.rcvOrig[:0]
 	d.rcvCount = d.rcvCount[:0]
+	d.uidx = d.uidx[:0]
+	d.didx = d.didx[:0]
+	d.upLeft = d.upLeft[:0]
+	d.upOrig = d.upOrig[:0]
+	d.upCount = d.upCount[:0]
+	d.dnLeft = d.dnLeft[:0]
+	d.dnOrig = d.dnOrig[:0]
+	d.dnCount = d.dnCount[:0]
 	d.frozen = d.frozen[:0]
 }
 
@@ -173,6 +190,7 @@ func (d *denseFill) run(flows []*Flow, flowCap float64) {
 // WaterFill draws one from a pool; each CoupledAllocator owns one.
 type fillScratch struct {
 	snd, rcv interner
+	up, dn   interner // edge-switch slots for the topology extension
 	d        denseFill
 
 	effSend []float64 // per sender slot: coupling-adjusted capacity
@@ -182,6 +200,8 @@ type fillScratch struct {
 func (s *fillScratch) begin() {
 	s.snd.begin()
 	s.rcv.begin()
+	s.up.begin()
+	s.dn.begin()
 	s.d.reset()
 	s.effSend = s.effSend[:0]
 	s.inflow = s.inflow[:0]

@@ -15,6 +15,7 @@ package gige
 
 import (
 	"bwshare/internal/netsim"
+	"bwshare/internal/topology"
 )
 
 // Config holds the GigE substrate parameters.
@@ -36,6 +37,11 @@ type Config struct {
 	// to 1.7: scheme S4 of Figure 2 (rho = 1.08) shows no sender
 	// coupling while S5 (rho = 1.83) shows it strongly.
 	PauseThreshold float64
+	// Topo is the switch fabric connecting the hosts. The zero value is
+	// the paper's single crossbar (bit-identical to the topology-free
+	// substrate); a multi-switch fabric adds shared uplink capacity
+	// constraints derived from the single-flow reference rate.
+	Topo topology.Spec
 }
 
 // DefaultConfig returns the calibrated configuration used in the
@@ -58,6 +64,7 @@ func (cfg Config) Coupled() netsim.CoupledConfig {
 		RxCap:             cfg.LineRate,
 		Coupling:          coupling,
 		CouplingThreshold: cfg.PauseThreshold,
+		Topo:              cfg.Topo,
 	}
 }
 

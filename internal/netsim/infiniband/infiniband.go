@@ -13,6 +13,7 @@ package infiniband
 
 import (
 	"bwshare/internal/netsim"
+	"bwshare/internal/topology"
 )
 
 // Config holds the InfiniBand substrate parameters.
@@ -32,6 +33,11 @@ type Config struct {
 	// Calibrated to 0.65 from the jump of (a,b,c) penalties between
 	// schemes S4 (2.61) and S5 (3.66).
 	Coupling float64
+	// Topo is the switch fabric connecting the hosts. The zero value is
+	// the paper's single crossbar (bit-identical to the topology-free
+	// substrate); a multi-switch fabric adds shared uplink capacity
+	// constraints derived from the single-flow reference rate.
+	Topo topology.Spec
 }
 
 // DefaultConfig returns the calibrated configuration reproducing the
@@ -49,6 +55,7 @@ func (cfg Config) Coupled() netsim.CoupledConfig {
 		FlowCap:  cfg.BetaIB * cfg.LineRate,
 		RxCap:    cfg.RxFactor * cfg.LineRate,
 		Coupling: cfg.Coupling,
+		Topo:     cfg.Topo,
 	}
 }
 

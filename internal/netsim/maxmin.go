@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bwshare/internal/graph"
+	"bwshare/internal/topology"
 )
 
 // fillPool recycles WaterFill scratch state across calls (and across
@@ -86,6 +87,16 @@ type CoupledConfig struct {
 	// without NIC-wide stalls; only heavy overload triggers pause
 	// frames. Values <= 1 make coupling engage on any overload.
 	CouplingThreshold float64
+	// Topo describes the switch fabric connecting the hosts. The zero
+	// value (single crossbar) imposes no constraints beyond the NICs
+	// and takes exactly the topology-free code path; a non-trivial
+	// fabric adds shared per-edge-switch uplink/downlink capacities to
+	// the final water-fill. Capacities derive from the single-flow
+	// reference rate (FlowCap) via Topo.UplinkCap — the same
+	// normalization the paper uses for penalties — so substrate
+	// measurements and model predictions place the fabric on one scale.
+	// Sender coupling itself stays a NIC-level mechanism.
+	Topo topology.Spec
 }
 
 // CoupledAllocator implements the two-phase rate allocation shared by the
@@ -205,7 +216,7 @@ func (a *CoupledAllocator) Allocate(flows []*Flow) {
 		return
 	}
 	if !denseOK(flows) {
-		referenceCoupledAllocate(a.Cfg, flows)
+		referenceCoupledTopoAllocate(a.Cfg, flows)
 		return
 	}
 	cfg := a.Cfg
@@ -281,7 +292,9 @@ func (a *CoupledAllocator) Allocate(flows []*Flow) {
 	}
 
 	// Phase 3: max-min under the adjusted capacities. The per-slot counts
-	// from phase 1a are exactly the initial unfrozen counts.
+	// from phase 1a are exactly the initial unfrozen counts. A trivial
+	// topology runs the untouched crossbar routine, keeping its rates
+	// bit-identical to the topology-free path.
 	for _, v := range sc.effSend {
 		d.sndLeft = append(d.sndLeft, v)
 		d.sndOrig = append(d.sndOrig, v)
@@ -290,5 +303,10 @@ func (a *CoupledAllocator) Allocate(flows []*Flow) {
 		d.rcvLeft = append(d.rcvLeft, cfg.RxCap)
 		d.rcvOrig = append(d.rcvOrig, cfg.RxCap)
 	}
-	d.run(flows, cfg.FlowCap)
+	if cfg.Topo.Trivial() {
+		d.run(flows, cfg.FlowCap)
+	} else {
+		prepTopoLinks(sc, flows, cfg.Topo, cfg.Topo.UplinkCap(cfg.FlowCap))
+		d.runTopo(flows, cfg.FlowCap)
+	}
 }

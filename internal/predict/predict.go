@@ -30,6 +30,7 @@ import (
 	"bwshare/internal/netsim/gige"
 	"bwshare/internal/netsim/infiniband"
 	"bwshare/internal/netsim/myrinet"
+	"bwshare/internal/topology"
 )
 
 // NewEngine returns a fluid engine whose instantaneous rates are
@@ -37,6 +38,23 @@ import (
 // single-flow rate in bytes/second (penalty 1).
 func NewEngine(m core.Model, refRate float64) *netsim.FluidEngine {
 	return netsim.NewFluidEngine("predict-"+m.Name(), refRate, &modelAllocator{m: m, ref: refRate})
+}
+
+// NewEngineWithTopology is NewEngine on a multi-switch fabric: the
+// model's penalties set each flow's crossbar-level rate as usual, then
+// the fabric's shared uplink capacities cap them (netsim.TopoFiller).
+// The paper's models know nothing about switches, so the reference rate
+// doubles as the host access rate from which uplink capacities derive.
+// A trivial topology returns exactly NewEngine's engine.
+func NewEngineWithTopology(m core.Model, refRate float64, topo topology.Spec) *netsim.FluidEngine {
+	if topo.Trivial() {
+		return NewEngine(m, refRate)
+	}
+	a := &topoModelAllocator{
+		modelAllocator: modelAllocator{m: m, ref: refRate},
+		topo:           topo,
+	}
+	return netsim.NewFluidEngine("predict-"+m.Name()+"-"+topo.Kind.String(), refRate, a)
 }
 
 // modelAllocator adapts a penalty Model to the fluid Allocator interface.
@@ -64,6 +82,21 @@ func (a *modelAllocator) Allocate(flows []*netsim.Flow) {
 	}
 }
 
+// topoModelAllocator is a modelAllocator followed by the fabric's
+// uplink constraints: penalties yield crossbar-level rates, which the
+// TopoFiller then water-fills under the shared per-switch links.
+type topoModelAllocator struct {
+	modelAllocator
+	topo topology.Spec
+	tf   netsim.TopoFiller
+}
+
+// Allocate implements netsim.Allocator.
+func (a *topoModelAllocator) Allocate(flows []*netsim.Flow) {
+	a.modelAllocator.Allocate(flows)
+	a.tf.Apply(flows, a.topo, a.ref)
+}
+
 // Session is a reusable prediction context: one model, one reference
 // rate, one pooled fluid engine, and scratch buffers that survive across
 // calls. A Session is not safe for concurrent use; give each worker its
@@ -83,6 +116,16 @@ type Session struct {
 // given reference rate (bytes/second).
 func NewSession(m core.Model, refRate float64) *Session {
 	return &Session{m: m, ref: refRate, eng: NewEngine(m, refRate)}
+}
+
+// NewSessionWithTopology builds a reusable prediction context whose
+// progressive evaluation runs on the given fabric (see
+// NewEngineWithTopology). The static formulas (StaticTimes,
+// StaticPenalties) stay the paper's crossbar-level expressions: only the
+// progressive times feel the fabric. A trivial topology is exactly
+// NewSession.
+func NewSessionWithTopology(m core.Model, refRate float64, topo topology.Spec) *Session {
+	return &Session{m: m, ref: refRate, eng: NewEngineWithTopology(m, refRate, topo)}
 }
 
 // Model returns the session's penalty model.

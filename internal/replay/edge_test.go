@@ -1,0 +1,126 @@
+package replay
+
+import (
+	"testing"
+
+	"bwshare/internal/cluster"
+	"bwshare/internal/graph"
+	"bwshare/internal/netsim/gige"
+	"bwshare/internal/trace"
+)
+
+// PR-4 edge-case coverage for replay.Run: degenerate traces must either
+// replay cleanly (finite times, sane CommTimes, no hang) or fail fast
+// with a structural error — never stall the co-simulation loop.
+
+func edgeCluster(tasks int) (cluster.Cluster, cluster.Placement) {
+	clu := cluster.Default(tasks)
+	place := make(cluster.Placement, tasks)
+	for i := range place {
+		place[i] = graph.NodeID(i) // one task per node: transfers hit the network
+	}
+	return clu, place
+}
+
+// TestReplayEmptyTrace: a trace with zero tasks completes immediately
+// with an empty result.
+func TestReplayEmptyTrace(t *testing.T) {
+	clu := cluster.Default(1)
+	r, err := Run(gige.New(gige.DefaultConfig()), clu, cluster.Placement{}, &trace.Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 0 || len(r.CommTimes()) != 0 || r.NetTransfers != 0 {
+		t.Errorf("empty trace: %+v", r)
+	}
+}
+
+// TestReplayAllTasksEmpty: tasks exist but have no events; everything
+// finishes at time zero.
+func TestReplayAllTasksEmpty(t *testing.T) {
+	tr := &trace.Trace{Tasks: []trace.Task{{}, {}, {}}}
+	clu, place := edgeCluster(3)
+	r, err := Run(gige.New(gige.DefaultConfig()), clu, place, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 0 {
+		t.Errorf("makespan %g, want 0", r.Makespan)
+	}
+	for i, ct := range r.CommTimes() {
+		if ct != 0 {
+			t.Errorf("task %d comm time %g, want 0", i, ct)
+		}
+	}
+}
+
+// TestReplayBarrierFirst: every task's first event is a barrier (and one
+// task is barrier-only). The barrier must release at time zero and the
+// rest of the program proceed normally.
+func TestReplayBarrierFirst(t *testing.T) {
+	tr := &trace.Trace{Tasks: []trace.Task{
+		{{Kind: trace.Barrier}, {Kind: trace.Send, Peer: 1, Bytes: 1e6}},
+		{{Kind: trace.Barrier}, {Kind: trace.Recv, Peer: 0, Bytes: 1e6}},
+		{{Kind: trace.Barrier}},
+	}}
+	clu, place := edgeCluster(3)
+	r, err := Run(gige.New(gige.DefaultConfig()), clu, place, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan <= 0 {
+		t.Errorf("makespan %g, want > 0 (one real transfer ran)", r.Makespan)
+	}
+	ct := r.CommTimes()
+	if len(ct) != 3 || ct[0] <= 0 || ct[1] != 0 || ct[2] != 0 {
+		t.Errorf("comm times %v: sender positive, others zero", ct)
+	}
+	if r.Tasks[2].Finish != 0 {
+		t.Errorf("barrier-only task finished at %g, want 0", r.Tasks[2].Finish)
+	}
+}
+
+// TestReplayZeroByteTransfer: zero-byte sends are structurally invalid
+// (the engines cannot start a zero-volume flow); Run must reject the
+// trace immediately instead of hanging or panicking mid-simulation.
+func TestReplayZeroByteTransfer(t *testing.T) {
+	tr := &trace.Trace{Tasks: []trace.Task{
+		{{Kind: trace.Send, Peer: 1, Bytes: 0}},
+		{{Kind: trace.Recv, Peer: 0, Bytes: 0}},
+	}}
+	clu, place := edgeCluster(2)
+	if _, err := Run(gige.New(gige.DefaultConfig()), clu, place, tr); err == nil {
+		t.Fatal("zero-byte transfer accepted")
+	}
+}
+
+// TestReplayBarrierAfterFinish: a task finishing before others reach the
+// barrier must not deadlock the release (barriers synchronize live
+// tasks only).
+func TestReplayBarrierAfterFinish(t *testing.T) {
+	tr := &trace.Trace{Tasks: []trace.Task{
+		{{Kind: trace.Compute, Duration: 0.5}, {Kind: trace.Barrier}},
+		{{Kind: trace.Barrier}, {Kind: trace.Compute, Duration: 0.25}},
+		{}, // finishes instantly, never reaches a barrier
+	}}
+	// Task 2 finishing at t=0 means the barrier only waits for tasks 0
+	// and 1 — but the trace validator requires aligned barrier counts,
+	// so this variant must be rejected up front rather than hanging.
+	clu, place := edgeCluster(3)
+	if _, err := Run(gige.New(gige.DefaultConfig()), clu, place, tr); err == nil {
+		t.Fatal("misaligned barrier counts accepted")
+	}
+	// The aligned version replays to completion.
+	tr = &trace.Trace{Tasks: []trace.Task{
+		{{Kind: trace.Compute, Duration: 0.5}, {Kind: trace.Barrier}},
+		{{Kind: trace.Barrier}, {Kind: trace.Compute, Duration: 0.25}},
+		{{Kind: trace.Barrier}},
+	}}
+	r, err := Run(gige.New(gige.DefaultConfig()), clu, place, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.75; r.Makespan != want {
+		t.Errorf("makespan %g, want %g", r.Makespan, want)
+	}
+}

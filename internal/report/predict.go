@@ -11,6 +11,7 @@ import (
 
 	"bwshare/internal/graph"
 	"bwshare/internal/stats"
+	"bwshare/internal/topology"
 )
 
 // CommPrediction is the JSON record for one communication.
@@ -23,14 +24,31 @@ type CommPrediction struct {
 	Time          float64 `json:"time_s"`
 }
 
+// LinkUtil is the JSON record for one direction of one edge-switch
+// uplink: the traffic it carried during the predicted run and how close
+// its aggregate demand came to the link capacity.
+type LinkUtil struct {
+	Switch      int     `json:"switch"`
+	Dir         string  `json:"dir"` // "up" or "down"
+	Comms       int     `json:"comms"`
+	Bytes       float64 `json:"bytes"`
+	MeanRate    float64 `json:"mean_rate_bytes_per_s"`
+	Capacity    float64 `json:"capacity_bytes_per_s"`
+	Utilization float64 `json:"utilization"` // MeanRate / Capacity
+}
+
 // Prediction is the JSON document for one scheme prediction, the
-// response body of bwserved's /v1/predict.
+// response body of bwserved's /v1/predict. Topology and Links appear
+// only when the scheme ran on a non-trivial fabric, so topology-free
+// responses are byte-identical to the pre-topology format.
 type Prediction struct {
 	Model       string           `json:"model"`
 	Progressive bool             `json:"progressive"`
 	RefRate     float64          `json:"ref_rate_bytes_per_s"`
 	Cached      bool             `json:"cached"`
+	Topology    string           `json:"topology,omitempty"`
 	Comms       []CommPrediction `json:"comms"`
+	Links       []LinkUtil       `json:"links,omitempty"`
 }
 
 // BuildPrediction assembles the JSON document from per-communication
@@ -54,6 +72,52 @@ func BuildPrediction(modelName string, progressive bool, refRate float64, g *gra
 		}
 	}
 	return p
+}
+
+// BuildLinkUtil computes the per-uplink utilization records for a
+// prediction on a fabric: topology.LinkLoads aggregated per (switch,
+// direction) plus the capacity each link offers at the given host rate.
+// Trivial fabrics yield nil, keeping topology-free documents unchanged.
+func BuildLinkUtil(topo topology.Spec, g *graph.Graph, times []float64, hostRate float64) []LinkUtil {
+	loads := topo.LinkLoads(g, times)
+	if loads == nil {
+		return nil
+	}
+	cap := topo.UplinkCap(hostRate)
+	out := make([]LinkUtil, len(loads))
+	for i, l := range loads {
+		out[i] = LinkUtil{
+			Switch:      l.Switch,
+			Dir:         l.Dir.String(),
+			Comms:       l.Flows,
+			Bytes:       l.Bytes,
+			MeanRate:    l.MeanRate,
+			Capacity:    cap,
+			Utilization: l.MeanRate / cap,
+		}
+	}
+	return out
+}
+
+// LinkUtilText renders the per-uplink utilization table appended to the
+// text report of a prediction on a fabric (it is only emitted for
+// non-trivial topologies, so topology-free text output is untouched).
+func LinkUtilText(w io.Writer, topo topology.Spec, links []LinkUtil) {
+	if len(links) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "topology %s\n", topo)
+	t := Table{Header: []string{"link", "comms", "MB", "mean rate [MB/s]", "capacity [MB/s]", "util"}}
+	for _, l := range links {
+		t.AddRow(
+			fmt.Sprintf("sw%d %s", l.Switch, l.Dir),
+			fmt.Sprint(l.Comms),
+			fmt.Sprintf("%.1f", l.Bytes/1e6),
+			fmt.Sprintf("%.1f", l.MeanRate/1e6),
+			fmt.Sprintf("%.1f", l.Capacity/1e6),
+			fmt.Sprintf("%.2f", l.Utilization))
+	}
+	t.Render(w)
 }
 
 // PredictionText renders the bwpredict report: a header line followed by

@@ -13,6 +13,16 @@
 //
 // Volumes accept B, KB, MB, GB suffixes (decimal, like the paper's
 // 20 MB messages) or a plain number of bytes.
+//
+// A scheme may additionally declare the switch fabric it runs on with
+// two optional headers (see ParseWithTopology):
+//
+//	topology: fattree 2x4 oversub 2   # crossbar | star SxH | fattree SxH oversub R
+//	place: roundrobin                 # node -> host mapping: block (default) | roundrobin
+//	a: 0 -> 4
+//
+// Topology-agnostic callers use Parse, which accepts and ignores the
+// headers, so annotated scheme files stay readable everywhere.
 package schemelang
 
 import (
@@ -22,6 +32,7 @@ import (
 	"strings"
 
 	"bwshare/internal/graph"
+	"bwshare/internal/topology"
 )
 
 // DefaultVolume is used when no volume directive or suffix is given:
@@ -40,10 +51,24 @@ func (e *ParseError) Error() string {
 }
 
 // Parse builds a communication graph from the textual description.
+// Topology headers are accepted and discarded; use ParseWithTopology to
+// retrieve them.
 func Parse(src string) (*graph.Graph, error) {
+	g, _, err := ParseWithTopology(src)
+	return g, err
+}
+
+// ParseWithTopology builds a communication graph plus the fabric the
+// scheme declares via its optional 'topology:' and 'place:' headers.
+// Without headers the spec is the zero (single crossbar) topology. The
+// scheme's nodes are checked to fit the declared fabric.
+func ParseWithTopology(src string) (*graph.Graph, topology.Spec, error) {
+	var spec topology.Spec
 	b := graph.NewBuilder()
 	volume := float64(DefaultVolume)
 	seen := false
+	topoSeen, placeSeen, inlinePlace := false, false, false
+	var placeAt int // line of the place: header, validated after topology:
 	for ln, raw := range strings.Split(src, "\n") {
 		line := raw
 		if i := strings.IndexByte(line, '#'); i >= 0 {
@@ -56,57 +81,107 @@ func Parse(src string) (*graph.Graph, error) {
 		fields := strings.Fields(line)
 		if fields[0] == "volume" {
 			if len(fields) != 2 {
-				return nil, &ParseError{ln + 1, "volume directive needs exactly one argument"}
+				return nil, spec, &ParseError{ln + 1, "volume directive needs exactly one argument"}
 			}
 			v, err := ParseVolume(fields[1])
 			if err != nil {
-				return nil, &ParseError{ln + 1, err.Error()}
+				return nil, spec, &ParseError{ln + 1, err.Error()}
 			}
 			volume = v
 			continue
 		}
+		// A line starting with "topology:" or "place:" is a fabric
+		// header unless it carries "->" — 'topology' and 'place' remain
+		// usable as communication labels, so pre-header scheme files
+		// keep parsing.
+		if arg, ok := strings.CutPrefix(line, "topology:"); ok && !strings.Contains(arg, "->") {
+			if topoSeen {
+				return nil, spec, &ParseError{ln + 1, "duplicate topology header"}
+			}
+			topoSeen = true
+			for _, f := range strings.Fields(arg) {
+				if f == "place" {
+					inlinePlace = true
+				}
+			}
+			if placeSeen && inlinePlace {
+				return nil, spec, &ParseError{ln + 1, "placement declared both as a place: header and inside the topology header"}
+			}
+			place := spec.Place // a preceding place: header
+			s, err := topology.ParseSpec(strings.TrimSpace(arg))
+			if err != nil {
+				return nil, spec, &ParseError{ln + 1, err.Error()}
+			}
+			spec = s
+			if placeSeen && spec.Kind != topology.Crossbar {
+				spec.Place = place
+			}
+			continue
+		}
+		if arg, ok := strings.CutPrefix(line, "place:"); ok && !strings.Contains(arg, "->") {
+			if placeSeen {
+				return nil, spec, &ParseError{ln + 1, "duplicate place header"}
+			}
+			if inlinePlace {
+				return nil, spec, &ParseError{ln + 1, "placement declared both as a place: header and inside the topology header"}
+			}
+			placeSeen = true
+			placeAt = ln + 1
+			p, err := topology.ParsePlacement(strings.TrimSpace(arg))
+			if err != nil {
+				return nil, spec, &ParseError{ln + 1, err.Error()}
+			}
+			spec.Place = p
+			continue
+		}
 		label, rest, ok := strings.Cut(line, ":")
 		if !ok {
-			return nil, &ParseError{ln + 1, fmt.Sprintf("expected 'label: src -> dst' or 'volume', got %q", line)}
+			return nil, spec, &ParseError{ln + 1, fmt.Sprintf("expected 'label: src -> dst', 'volume', 'topology:' or 'place:', got %q", line)}
 		}
 		label = strings.TrimSpace(label)
 		if label == "" || strings.ContainsAny(label, " \t") {
-			return nil, &ParseError{ln + 1, fmt.Sprintf("invalid label %q", label)}
+			return nil, spec, &ParseError{ln + 1, fmt.Sprintf("invalid label %q", label)}
 		}
 		srcStr, dstStr, ok := strings.Cut(rest, "->")
 		if !ok {
-			return nil, &ParseError{ln + 1, "missing '->'"}
+			return nil, spec, &ParseError{ln + 1, "missing '->'"}
 		}
 		srcNode, err := parseNode(srcStr)
 		if err != nil {
-			return nil, &ParseError{ln + 1, "source: " + err.Error()}
+			return nil, spec, &ParseError{ln + 1, "source: " + err.Error()}
 		}
 		dstFields := strings.Fields(dstStr)
 		if len(dstFields) < 1 || len(dstFields) > 2 {
-			return nil, &ParseError{ln + 1, "expected 'dst [volume]' after '->'"}
+			return nil, spec, &ParseError{ln + 1, "expected 'dst [volume]' after '->'"}
 		}
 		dstNode, err := parseNode(dstFields[0])
 		if err != nil {
-			return nil, &ParseError{ln + 1, "destination: " + err.Error()}
+			return nil, spec, &ParseError{ln + 1, "destination: " + err.Error()}
 		}
 		v := volume
 		if len(dstFields) == 2 {
 			v, err = ParseVolume(dstFields[1])
 			if err != nil {
-				return nil, &ParseError{ln + 1, err.Error()}
+				return nil, spec, &ParseError{ln + 1, err.Error()}
 			}
 		}
 		b.Add(label, srcNode, dstNode, v)
 		seen = true
 	}
+	if placeSeen && spec.Trivial() {
+		return nil, spec, &ParseError{placeAt, "place: needs a multi-switch topology header"}
+	}
 	if !seen {
-		return nil, &ParseError{0, "no communications in scheme"}
+		return nil, spec, &ParseError{0, "no communications in scheme"}
 	}
 	g, err := b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("schemelang: %w", err)
+		return nil, spec, fmt.Errorf("schemelang: %w", err)
 	}
-	return g, nil
+	if err := spec.CheckFit(g.MaxNode()); err != nil {
+		return nil, spec, fmt.Errorf("schemelang: %w", err)
+	}
+	return g, spec, nil
 }
 
 func parseNode(s string) (graph.NodeID, error) {

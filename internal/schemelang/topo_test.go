@@ -1,0 +1,117 @@
+package schemelang
+
+import (
+	"strings"
+	"testing"
+
+	"bwshare/internal/topology"
+)
+
+func TestParseWithTopology(t *testing.T) {
+	src := `
+# an oversubscribed two-switch scheme
+topology: fattree 2x4 oversub 2
+place: roundrobin
+a: 0 -> 4
+b: 1 -> 5 10MB
+`
+	g, spec, err := ParseWithTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.Spec{Kind: topology.FatTree, Switches: 2, HostsPerSwitch: 4, Oversub: 2, Place: topology.RoundRobin}
+	if spec != want {
+		t.Errorf("spec %+v, want %+v", spec, want)
+	}
+	if g.Len() != 2 {
+		t.Errorf("got %d comms", g.Len())
+	}
+}
+
+func TestParseWithTopologyPlaceFirst(t *testing.T) {
+	src := "place: roundrobin\ntopology: star 2x4\na: 0 -> 4\n"
+	_, spec, err := ParseWithTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Place != topology.RoundRobin {
+		t.Errorf("place header before topology lost: %+v", spec)
+	}
+}
+
+func TestParseWithTopologyDefaults(t *testing.T) {
+	g, spec, err := ParseWithTopology("a: 0 -> 1\n")
+	if err != nil || g.Len() != 1 {
+		t.Fatalf("g=%v err=%v", g, err)
+	}
+	if !spec.Trivial() {
+		t.Errorf("no header should mean a trivial fabric, got %+v", spec)
+	}
+}
+
+func TestParseIgnoresTopologyHeaders(t *testing.T) {
+	// Topology-agnostic Parse accepts annotated files.
+	g, err := Parse("topology: star 2x2\na: 0 -> 2\n")
+	if err != nil || g.Len() != 1 {
+		t.Fatalf("g=%v err=%v", g, err)
+	}
+}
+
+// TestTopologyLabelsNotReserved: 'topology' and 'place' stay usable as
+// communication labels — a header is only recognized when the line does
+// not carry '->', so pre-header scheme files keep parsing.
+func TestTopologyLabelsNotReserved(t *testing.T) {
+	g, spec, err := ParseWithTopology("topology: 0 -> 1\nplace: 0 -> 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 || !spec.Trivial() {
+		t.Errorf("comms %d spec %+v", g.Len(), spec)
+	}
+	if _, ok := g.ByLabel("topology"); !ok {
+		t.Error("label 'topology' lost")
+	}
+	if _, ok := g.ByLabel("place"); !ok {
+		t.Error("label 'place' lost")
+	}
+}
+
+// TestConflictingPlaceDeclarations: placement given both as a place:
+// header and inline in the topology header is ambiguous and rejected,
+// in either order.
+func TestConflictingPlaceDeclarations(t *testing.T) {
+	srcs := []string{
+		"place: block\ntopology: fattree 2x4 oversub 2 place roundrobin\na: 0 -> 4\n",
+		"topology: fattree 2x4 oversub 2 place roundrobin\nplace: block\na: 0 -> 4\n",
+	}
+	for _, src := range srcs {
+		if _, _, err := ParseWithTopology(src); err == nil ||
+			!strings.Contains(err.Error(), "both") {
+			t.Errorf("ParseWithTopology(%q) err = %v, want conflict error", src, err)
+		}
+	}
+	// Inline-only placement still works.
+	_, spec, err := ParseWithTopology("topology: fattree 2x4 oversub 2 place roundrobin\na: 0 -> 4\n")
+	if err != nil || spec.Place != topology.RoundRobin {
+		t.Errorf("inline place lost: %+v %v", spec, err)
+	}
+}
+
+func TestParseWithTopologyErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"topology: star 2x2\ntopology: star 2x2\na: 0 -> 2\n", "duplicate topology"},
+		{"place: block\nplace: block\ntopology: star 2x4\na: 0 -> 4\n", "duplicate place"},
+		{"place: block\na: 0 -> 1\n", "multi-switch topology"},
+		{"topology: mesh 2x2\na: 0 -> 1\n", "unknown kind"},
+		{"topology: star 2x2\na: 0 -> 5\n", "does not fit"}, // node 5 beyond 4 hosts
+		{"place: diagonal\ntopology: star 2x4\na: 0 -> 4\n", "unknown placement"},
+	}
+	for _, c := range cases {
+		_, _, err := ParseWithTopology(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseWithTopology(%q) err = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}

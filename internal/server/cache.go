@@ -4,17 +4,20 @@ import (
 	"sync"
 
 	"bwshare/internal/graph"
+	"bwshare/internal/topology"
 )
 
 // cacheKey identifies one cached prediction: canonical scheme hash x
-// model x static/progressive x reference rate. The scheme hash can
-// collide, so hits are confirmed against the stored graph with
-// graph.Equal before being served.
+// model x static/progressive x reference rate x fabric. The scheme hash
+// can collide, so hits are confirmed against the stored graph with
+// graph.Equal before being served; the other fields are exact values,
+// so two requests differing only in topology never collide.
 type cacheKey struct {
 	hash   uint64
 	model  string
 	static bool
 	ref    float64
+	topo   topology.Spec
 }
 
 // entry is one LRU cache slot. The stored slices are immutable once
@@ -60,8 +63,13 @@ func (c *lru) get(key cacheKey, g *graph.Graph) *entry {
 }
 
 // put inserts an entry, evicting the least recently used slot when full.
-// A concurrent insert of the same key is overwritten (last writer wins;
-// both computed identical values for identical inputs).
+// A concurrent insert of the same key for the same graph is overwritten
+// (last writer wins; both computed identical values for identical
+// inputs). A *different* graph under an equal key is a genuine hash
+// collision: the resident entry is kept deterministically — confirmed
+// with graph.Equal — so two colliding schemes cannot permanently evict
+// each other on alternating requests (the newcomer simply stays
+// uncached and recomputes).
 func (c *lru) put(e *entry) {
 	if c.cap <= 0 {
 		return
@@ -69,6 +77,9 @@ func (c *lru) put(e *entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old := c.byKey[e.key]; old != nil {
+		if !graph.Equal(old.g, e.g) {
+			return // collision: first resident wins
+		}
 		c.unlink(old)
 		delete(c.byKey, old.key)
 	}

@@ -35,6 +35,7 @@ import (
 	"bwshare/internal/report"
 	"bwshare/internal/schemelang"
 	"bwshare/internal/schemes"
+	"bwshare/internal/topology"
 )
 
 // MaxBatch bounds the number of requests in one /v1/predict/batch call.
@@ -91,7 +92,8 @@ type sessKey struct {
 }
 
 // session returns the worker's session for (model, ref), creating it on
-// first use.
+// first use. Only trivial-topology sessions are cached (compute builds
+// throwaway sessions for fabrics), so the key needs no topology.
 func (w *worker) session(m core.Model, name string, ref float64) *predict.Session {
 	k := sessKey{name, ref}
 	s := w.sessions[k]
@@ -152,27 +154,28 @@ type Result struct {
 }
 
 // Predict computes (or serves from cache) the prediction for g under the
-// named model. refOverride, when positive, replaces the substrate's
+// named model on the given fabric (the zero Spec is the paper's single
+// crossbar). refOverride, when positive, replaces the substrate's
 // default reference rate. The cache-hit path allocates nothing.
-func (s *Server) Predict(g *graph.Graph, modelName string, static bool, refOverride float64) (Result, error) {
+func (s *Server) Predict(g *graph.Graph, modelName string, static bool, refOverride float64, topo topology.Spec) (Result, error) {
 	name, ok := s.canon[modelName]
 	if !ok {
 		return Result{}, fmt.Errorf("unknown model %q (see /v1/models)", modelName)
 	}
-	if refOverride < 0 {
-		return Result{}, fmt.Errorf("ref_rate must be positive, got %g", refOverride)
+	if !core.ValidRefRate(refOverride) {
+		return Result{}, fmt.Errorf("ref_rate must be a positive finite rate in bytes/second, got %g", refOverride)
 	}
 	ref := refOverride
 	if ref == 0 {
 		ref = s.refs[name]
 	}
-	key := cacheKey{hash: schemelang.Hash(g), model: name, static: static, ref: ref}
+	key := cacheKey{hash: schemelang.Hash(g), model: name, static: static, ref: ref, topo: topo}
 	if e := s.cache.get(key, g); e != nil {
 		s.cacheHits.Add(1)
 		return Result{Model: name, RefRate: ref, Penalties: e.pen, Times: e.times, Cached: true}, nil
 	}
 	s.cacheMisses.Add(1)
-	pen, times, err := s.compute(g, name, static, ref)
+	pen, times, err := s.compute(g, name, static, ref, topo)
 	if err != nil {
 		return Result{}, err
 	}
@@ -184,7 +187,7 @@ func (s *Server) Predict(g *graph.Graph, modelName string, static bool, refOverr
 // to the pool even if the engine panics on a degenerate scheme (a lost
 // worker would shrink the pool until the service deadlocks), and the
 // panic is converted to an error for the HTTP layer.
-func (s *Server) compute(g *graph.Graph, name string, static bool, ref float64) (pen, times []float64, err error) {
+func (s *Server) compute(g *graph.Graph, name string, static bool, ref float64, topo topology.Spec) (pen, times []float64, err error) {
 	w := <-s.pool
 	defer func() {
 		s.pool <- w
@@ -193,14 +196,15 @@ func (s *Server) compute(g *graph.Graph, name string, static bool, ref float64) 
 		}
 	}()
 	// Sessions are cached per model only at the substrate's default
-	// reference rate; a request-supplied ref_rate gets a throwaway
-	// session so clients cannot grow the per-worker session map without
-	// bound by sweeping rates.
+	// reference rate and the trivial topology; a request-supplied
+	// ref_rate or fabric gets a throwaway session so clients cannot grow
+	// the per-worker session map without bound by sweeping rates or
+	// topologies.
 	var sess *predict.Session
-	if ref == s.refs[name] {
+	if ref == s.refs[name] && topo.Trivial() {
 		sess = w.session(s.models[name], name, ref)
 	} else {
-		sess = predict.NewSession(s.models[name], ref)
+		sess = predict.NewSessionWithTopology(s.models[name], ref, topo)
 	}
 	pen = sess.StaticPenalties(g)
 	if static {
@@ -233,6 +237,49 @@ type PredictRequest struct {
 	Static bool `json:"static,omitempty"`
 	// RefRate overrides the substrate reference rate (bytes/second).
 	RefRate float64 `json:"ref_rate,omitempty"`
+	// Topology places the scheme on a multi-switch fabric; omitted or
+	// kind "crossbar" is the paper's single switch. Scheme text with a
+	// 'topology:' header may not also carry this block.
+	Topology *TopologyRequest `json:"topology,omitempty"`
+}
+
+// TopologyRequest is the JSON form of a fabric description.
+type TopologyRequest struct {
+	// Kind is "crossbar", "star" or "fattree".
+	Kind string `json:"kind"`
+	// Switches and HostsPerSwitch size the fabric (star/fattree).
+	Switches       int `json:"switches,omitempty"`
+	HostsPerSwitch int `json:"hosts_per_switch,omitempty"`
+	// Oversub is the fat-tree oversubscription ratio (>= 1).
+	Oversub float64 `json:"oversub,omitempty"`
+	// Place is "block" (default) or "roundrobin".
+	Place string `json:"place,omitempty"`
+}
+
+// spec converts and validates the request block.
+func (tr *TopologyRequest) spec() (topology.Spec, error) {
+	if tr == nil {
+		return topology.Spec{}, nil
+	}
+	kind, err := topology.ParseKind(tr.Kind)
+	if err != nil {
+		return topology.Spec{}, err
+	}
+	spec := topology.Spec{
+		Kind:           kind,
+		Switches:       tr.Switches,
+		HostsPerSwitch: tr.HostsPerSwitch,
+		Oversub:        tr.Oversub,
+	}
+	if tr.Place != "" {
+		if spec.Place, err = topology.ParsePlacement(tr.Place); err != nil {
+			return topology.Spec{}, err
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return topology.Spec{}, err
+	}
+	return spec, nil
 }
 
 // CommRequest is one structured communication. An empty Label is
@@ -292,8 +339,9 @@ func (s *Server) handlePredictGet(w http.ResponseWriter, r *http.Request) {
 
 // servePredict resolves the scheme, predicts, and renders either JSON or
 // (format=text) the exact bwpredict stdout for the same model and flags.
+// Predictions on a fabric additionally carry the per-uplink utilization.
 func (s *Server) servePredict(w http.ResponseWriter, r *http.Request, req PredictRequest) {
-	g, res, err := s.resolveAndPredict(req)
+	g, topo, res, err := s.resolveAndPredict(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -301,11 +349,23 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request, req Predic
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		report.PredictionText(w, s.models[res.Model].Name(), !req.Static, res.RefRate, g, res.Penalties, res.Times, nil)
+		if !topo.Trivial() {
+			report.LinkUtilText(w, topo, report.BuildLinkUtil(topo, g, res.Times, res.RefRate))
+		}
 		return
 	}
+	s.writeJSON(w, http.StatusOK, s.buildPrediction(req, g, topo, res))
+}
+
+// buildPrediction assembles the JSON document for one predicted scheme.
+func (s *Server) buildPrediction(req PredictRequest, g *graph.Graph, topo topology.Spec, res Result) report.Prediction {
 	p := report.BuildPrediction(s.models[res.Model].Name(), !req.Static, res.RefRate, g, res.Penalties, res.Times)
 	p.Cached = res.Cached
-	s.writeJSON(w, http.StatusOK, p)
+	if !topo.Trivial() {
+		p.Topology = topo.String()
+		p.Links = report.BuildLinkUtil(topo, g, res.Times, res.RefRate)
+	}
+	return p
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -326,53 +386,71 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]any, len(req.Requests))
 	for i, one := range req.Requests {
-		g, res, err := s.resolveAndPredict(one)
+		g, topo, res, err := s.resolveAndPredict(one)
 		if err != nil {
 			s.errors.Add(1)
 			results[i] = errorBody{Error: err.Error()}
 			continue
 		}
-		p := report.BuildPrediction(s.models[res.Model].Name(), !one.Static, res.RefRate, g, res.Penalties, res.Times)
-		p.Cached = res.Cached
-		results[i] = p
+		results[i] = s.buildPrediction(one, g, topo, res)
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
-// resolveAndPredict turns a request into a graph and runs Predict.
-func (s *Server) resolveAndPredict(req PredictRequest) (*graph.Graph, Result, error) {
-	g, err := resolveGraph(req)
+// resolveAndPredict turns a request into a graph plus fabric and runs
+// Predict.
+func (s *Server) resolveAndPredict(req PredictRequest) (*graph.Graph, topology.Spec, Result, error) {
+	g, topo, err := resolveGraph(req)
 	if err != nil {
-		return nil, Result{}, err
+		return nil, topo, Result{}, err
 	}
 	model := req.Model
 	if model == "" {
 		model = "gige"
 	}
-	res, err := s.Predict(g, model, req.Static, req.RefRate)
+	res, err := s.Predict(g, model, req.Static, req.RefRate, topo)
 	if err != nil {
-		return nil, Result{}, err
+		return nil, topo, Result{}, err
 	}
-	return g, res, nil
+	return g, topo, res, nil
 }
 
-// resolveGraph builds the scheme graph from exactly one of the three
-// request forms and enforces the service's size limits.
-func resolveGraph(req PredictRequest) (*graph.Graph, error) {
-	g, err := resolveGraphForm(req)
+// resolveGraph builds the scheme graph and fabric from exactly one of
+// the three request forms and enforces the service's size limits. The
+// fabric comes from the request's topology block or (scheme text only)
+// a 'topology:' header, but not both.
+func resolveGraph(req PredictRequest) (*graph.Graph, topology.Spec, error) {
+	g, topo, err := resolveGraphForm(req)
 	if err != nil {
-		return nil, err
+		return nil, topo, err
+	}
+	if req.Topology != nil {
+		if !topo.Trivial() {
+			return nil, topo, fmt.Errorf("scheme text already declares topology %q; drop the request's topology block", topo)
+		}
+		if topo, err = req.Topology.spec(); err != nil {
+			return nil, topo, err
+		}
 	}
 	if g.Len() > MaxComms {
-		return nil, fmt.Errorf("scheme has %d communications, limit %d", g.Len(), MaxComms)
+		return nil, topo, fmt.Errorf("scheme has %d communications, limit %d", g.Len(), MaxComms)
 	}
 	if g.MaxNode() >= MaxNodeID {
-		return nil, fmt.Errorf("node id %d exceeds limit %d", g.MaxNode(), MaxNodeID-1)
+		return nil, topo, fmt.Errorf("node id %d exceeds limit %d", g.MaxNode(), MaxNodeID-1)
 	}
-	return g, nil
+	if err := topo.CheckFit(g.MaxNode()); err != nil {
+		return nil, topo, err
+	}
+	if req.Static && !topo.Trivial() {
+		// The static formulas are the paper's crossbar-level expressions
+		// and cannot see the fabric; answering them under a declared
+		// topology would report link utilizations the times ignore.
+		return nil, topo, fmt.Errorf("static prediction is crossbar-only; drop static or the topology")
+	}
+	return g, topo, nil
 }
 
-func resolveGraphForm(req PredictRequest) (*graph.Graph, error) {
+func resolveGraphForm(req PredictRequest) (*graph.Graph, topology.Spec, error) {
 	set := 0
 	if req.Name != "" {
 		set++
@@ -384,17 +462,17 @@ func resolveGraphForm(req PredictRequest) (*graph.Graph, error) {
 		set++
 	}
 	if set != 1 {
-		return nil, fmt.Errorf("exactly one of name, scheme or comms must be given")
+		return nil, topology.Spec{}, fmt.Errorf("exactly one of name, scheme or comms must be given")
 	}
 	switch {
 	case req.Name != "":
 		g, ok := schemes.Named(req.Name)
 		if !ok {
-			return nil, fmt.Errorf("unknown scheme %q (see /v1/schemes)", req.Name)
+			return nil, topology.Spec{}, fmt.Errorf("unknown scheme %q (see /v1/schemes)", req.Name)
 		}
-		return g, nil
+		return g, topology.Spec{}, nil
 	case req.Scheme != "":
-		return schemelang.Parse(req.Scheme)
+		return schemelang.ParseWithTopology(req.Scheme)
 	default:
 		b := graph.NewBuilder()
 		for i, c := range req.Comms {
@@ -408,7 +486,8 @@ func resolveGraphForm(req PredictRequest) (*graph.Graph, error) {
 			}
 			b.Add(label, graph.NodeID(c.Src), graph.NodeID(c.Dst), vol)
 		}
-		return b.Build()
+		g, err := b.Build()
+		return g, topology.Spec{}, err
 	}
 }
 

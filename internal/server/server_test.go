@@ -15,6 +15,7 @@ import (
 	"bwshare/internal/predict"
 	"bwshare/internal/report"
 	"bwshare/internal/schemes"
+	"bwshare/internal/topology"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -151,7 +152,7 @@ func TestPredictTextFormat(t *testing.T) {
 		t.Fatalf("status %d: %s", code, body)
 	}
 	g, _ := schemes.Named("mk2")
-	res, err := s.Predict(g, "myrinet", false, 0)
+	res, err := s.Predict(g, "myrinet", false, 0, topology.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +171,11 @@ func TestPredictTextFormat(t *testing.T) {
 func TestStaticAndRefRateKeyTheCache(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: 8})
 	g, _ := schemes.Named("s4")
-	prog, err := s.Predict(g, "gige", false, 0)
+	prog, err := s.Predict(g, "gige", false, 0, topology.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := s.Predict(g, "gige", true, 0)
+	static, err := s.Predict(g, "gige", true, 0, topology.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,14 +185,14 @@ func TestStaticAndRefRateKeyTheCache(t *testing.T) {
 	if fmt.Sprint(prog.Times) == fmt.Sprint(static.Times) {
 		t.Error("static and progressive times should differ on s4")
 	}
-	other, err := s.Predict(g, "gige", false, 2*prog.RefRate)
+	other, err := s.Predict(g, "gige", false, 2*prog.RefRate, topology.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if other.Cached {
 		t.Error("different ref rate must not hit the default-rate entry")
 	}
-	if again, _ := s.Predict(g, "gige", false, 0); !again.Cached {
+	if again, _ := s.Predict(g, "gige", false, 0, topology.Spec{}); !again.Cached {
 		t.Error("original request should still hit")
 	}
 }
@@ -301,13 +302,13 @@ func TestSchemeLimits(t *testing.T) {
 	for i := range comms {
 		comms[i] = CommRequest{Src: 0, Dst: i + 1}
 	}
-	if _, err := resolveGraph(PredictRequest{Comms: comms}); err == nil {
+	if _, _, err := resolveGraph(PredictRequest{Comms: comms}); err == nil {
 		t.Error("oversized scheme should be rejected")
 	}
-	if _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID}}}); err == nil {
+	if _, _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID}}}); err == nil {
 		t.Error("out-of-range node id should be rejected")
 	}
-	if _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID - 1}}}); err != nil {
+	if _, _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID - 1}}}); err != nil {
 		t.Errorf("maximal node id should be accepted: %v", err)
 	}
 }
@@ -404,7 +405,7 @@ func TestDisabledCache(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: -1})
 	g, _ := schemes.Named("s2")
 	for i := 0; i < 2; i++ {
-		res, err := s.Predict(g, "gige", false, 0)
+		res, err := s.Predict(g, "gige", false, 0, topology.Spec{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -419,11 +420,11 @@ func TestDisabledCache(t *testing.T) {
 func TestPredictZeroAllocOnHit(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: 16})
 	g, _ := schemes.Named("s6")
-	if _, err := s.Predict(g, "gige", false, 0); err != nil {
+	if _, err := s.Predict(g, "gige", false, 0, topology.Spec{}); err != nil {
 		t.Fatal(err)
 	}
 	n := testing.AllocsPerRun(1000, func() {
-		res, err := s.Predict(g, "gige", false, 0)
+		res, err := s.Predict(g, "gige", false, 0, topology.Spec{})
 		if err != nil || !res.Cached {
 			t.Fatal("expected a cache hit")
 		}

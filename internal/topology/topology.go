@@ -1,0 +1,418 @@
+// Package topology describes multi-switch cluster fabrics and maps
+// cluster nodes onto them.
+//
+// The paper validates its bandwidth-sharing models on single-switch
+// clusters, where the only shared resources are the NICs. Real
+// deployments are hierarchical: hosts hang off edge switches whose
+// uplinks into the core are oversubscribed, so inter-switch traffic
+// contends for capacity that intra-switch traffic never sees. A Spec
+// captures that structure abstractly — enough for the allocation core to
+// add one shared up-link and one shared down-link constraint per edge
+// switch — without simulating individual core switches.
+//
+// Three fabric kinds are supported:
+//
+//   - Crossbar: the paper's single non-blocking switch. The zero Spec.
+//     No constraints beyond the NICs; every existing code path is
+//     bit-identical under it.
+//   - Star: edge switches joined by one host-speed link each to a hub
+//     (the classic cheap stack of commodity switches). The uplink
+//     capacity equals one host line rate, so the implied
+//     oversubscription is HostsPerSwitch.
+//   - FatTree: a two-level fat-tree with an explicit oversubscription
+//     ratio: each edge switch's uplink carries
+//     HostsPerSwitch*hostRate/Oversub in each direction. Oversub = 1 is
+//     a full-bisection (rearrangeably non-blocking) tree.
+//
+// Uplinks are full duplex: the up direction (edge switch toward the
+// core) and the down direction (core toward the edge switch) are
+// independent capacities, mirroring how the NIC model treats send and
+// receive separately.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bwshare/internal/graph"
+)
+
+// Kind enumerates the fabric families.
+type Kind uint8
+
+// Fabric kinds.
+const (
+	Crossbar Kind = iota
+	Star
+	FatTree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crossbar:
+		return "crossbar"
+	case Star:
+		return "star"
+	case FatTree:
+		return "fattree"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a kind name.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "crossbar":
+		return Crossbar, nil
+	case "star":
+		return Star, nil
+	case "fattree", "fat-tree":
+		return FatTree, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown kind %q (want crossbar, star or fattree)", s)
+	}
+}
+
+// Placement maps cluster node ids onto hosts of the fabric.
+type Placement uint8
+
+// Placement strategies.
+const (
+	// Block packs consecutive node ids onto the same edge switch
+	// (node n lives on switch n/HostsPerSwitch), the dense MPI default.
+	Block Placement = iota
+	// RoundRobin stripes node ids across switches (node n lives on
+	// switch n%Switches), maximizing inter-switch traffic.
+	RoundRobin
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case RoundRobin:
+		return "roundrobin"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// ParsePlacement resolves a placement name.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "roundrobin", "round-robin", "rr":
+		return RoundRobin, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown placement %q (want block or roundrobin)", s)
+	}
+}
+
+// MaxSwitches and MaxHostsPerSwitch bound accepted fabric sizes; their
+// product bounds the host count, keeping hostile specs from sizing huge
+// per-switch tables (the limits are far above any cluster the schemes
+// can address).
+const (
+	MaxSwitches       = 1 << 12
+	MaxHostsPerSwitch = 1 << 10
+)
+
+// Spec describes one fabric. It is a comparable value type: two equal
+// Specs describe the identical fabric, so a Spec can be embedded
+// directly in cache keys. The zero value is the single crossbar.
+type Spec struct {
+	// Kind selects the fabric family.
+	Kind Kind
+	// Switches is the number of edge switches (Star/FatTree; >= 2).
+	Switches int
+	// HostsPerSwitch is the number of hosts per edge switch (>= 1).
+	HostsPerSwitch int
+	// Oversub is the FatTree oversubscription ratio (>= 1): each edge
+	// uplink carries HostsPerSwitch*hostRate/Oversub per direction.
+	// Must be zero for Crossbar and Star (a Star's implied ratio is
+	// HostsPerSwitch).
+	Oversub float64
+	// Place maps node ids onto hosts.
+	Place Placement
+}
+
+// Trivial reports whether the fabric imposes no constraints beyond the
+// NICs: a crossbar, or a degenerate fabric with at most one switch.
+func (s Spec) Trivial() bool {
+	return s.Kind == Crossbar || s.Switches <= 1
+}
+
+// Validate checks the spec and enforces the canonical form (fields that
+// a kind does not use must be zero, so that equal fabrics compare equal).
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case Crossbar:
+		if s != (Spec{}) {
+			return fmt.Errorf("topology: crossbar takes no parameters (got %+v)", s)
+		}
+		return nil
+	case Star, FatTree:
+		if s.Switches < 2 {
+			return fmt.Errorf("topology: %s needs at least 2 switches, got %d", s.Kind, s.Switches)
+		}
+		if s.Switches > MaxSwitches {
+			return fmt.Errorf("topology: %d switches exceeds limit %d", s.Switches, MaxSwitches)
+		}
+		if s.HostsPerSwitch < 1 {
+			return fmt.Errorf("topology: %s needs at least 1 host per switch, got %d", s.Kind, s.HostsPerSwitch)
+		}
+		if s.HostsPerSwitch > MaxHostsPerSwitch {
+			return fmt.Errorf("topology: %d hosts per switch exceeds limit %d", s.HostsPerSwitch, MaxHostsPerSwitch)
+		}
+		if s.Kind == Star {
+			if s.Oversub != 0 {
+				return fmt.Errorf("topology: star has a fixed host-rate uplink; oversub %g is not a parameter", s.Oversub)
+			}
+		} else {
+			if !(s.Oversub >= 1) || math.IsInf(s.Oversub, 0) {
+				return fmt.Errorf("topology: fattree oversubscription must be a finite ratio >= 1, got %g", s.Oversub)
+			}
+		}
+		if s.Place != Block && s.Place != RoundRobin {
+			return fmt.Errorf("topology: invalid placement %d", s.Place)
+		}
+		return nil
+	default:
+		return fmt.Errorf("topology: unknown kind %d", s.Kind)
+	}
+}
+
+// Hosts returns the total host count of the fabric (0 for a crossbar,
+// which is unbounded).
+func (s Spec) Hosts() int {
+	if s.Kind == Crossbar {
+		return 0
+	}
+	return s.Switches * s.HostsPerSwitch
+}
+
+// CheckFit reports whether every node id up to maxNode maps onto a
+// distinct host of the fabric. Callers at trust boundaries (parser,
+// HTTP API) reject schemes that do not fit; the allocation core itself
+// stays total via SwitchOf's wraparound.
+func (s Spec) CheckFit(maxNode graph.NodeID) error {
+	if s.Trivial() {
+		return nil
+	}
+	if int(maxNode) >= s.Hosts() {
+		return fmt.Errorf("topology: node %d does not fit a %s fabric with %d hosts (%dx%d)",
+			maxNode, s.Kind, s.Hosts(), s.Switches, s.HostsPerSwitch)
+	}
+	return nil
+}
+
+// SwitchOf maps a cluster node to its edge switch under the spec's
+// placement. It is total: ids beyond the fabric wrap around, so the
+// allocation core never faults on unvalidated input.
+func (s Spec) SwitchOf(n graph.NodeID) int {
+	if s.Trivial() || n < 0 {
+		return 0
+	}
+	switch s.Place {
+	case RoundRobin:
+		return int(n) % s.Switches
+	default:
+		return (int(n) / s.HostsPerSwitch) % s.Switches
+	}
+}
+
+// Crosses reports whether a flow between two nodes traverses the core
+// (endpoints on different edge switches).
+func (s Spec) Crosses(src, dst graph.NodeID) bool {
+	return !s.Trivial() && s.SwitchOf(src) != s.SwitchOf(dst)
+}
+
+// UplinkCap returns the per-direction capacity of one edge switch's
+// uplink in bytes/second, given the host access rate (bytes/second a
+// single host can drive). Crossbars have no uplink; the result is +Inf.
+func (s Spec) UplinkCap(hostRate float64) float64 {
+	switch s.Kind {
+	case Star:
+		return hostRate
+	case FatTree:
+		return float64(s.HostsPerSwitch) * hostRate / s.Oversub
+	default:
+		return math.Inf(1)
+	}
+}
+
+// String renders the spec in the schemelang header syntax:
+// "crossbar", "star 4x8 place block", "fattree 4x8 oversub 2 place block".
+func (s Spec) String() string {
+	switch s.Kind {
+	case Star:
+		return fmt.Sprintf("star %dx%d place %s", s.Switches, s.HostsPerSwitch, s.Place)
+	case FatTree:
+		return fmt.Sprintf("fattree %dx%d oversub %g place %s", s.Switches, s.HostsPerSwitch, s.Oversub, s.Place)
+	default:
+		return "crossbar"
+	}
+}
+
+// ParseSpec parses the String form. The "place <p>" suffix is optional
+// (default block); "oversub <r>" is required for fattree and rejected
+// elsewhere. Examples:
+//
+//	crossbar
+//	star 4x8
+//	fattree 4x8 oversub 2
+//	fattree 4x8 oversub 1.5 place roundrobin
+func ParseSpec(src string) (Spec, error) {
+	fields := strings.Fields(src)
+	if len(fields) == 0 {
+		return Spec{}, fmt.Errorf("topology: empty spec")
+	}
+	kind, err := ParseKind(fields[0])
+	if err != nil {
+		return Spec{}, err
+	}
+	spec := Spec{Kind: kind}
+	rest := fields[1:]
+	if kind != Crossbar {
+		if len(rest) == 0 {
+			return Spec{}, fmt.Errorf("topology: %s needs a size, e.g. %q", kind, kind.String()+" 4x8")
+		}
+		spec.Switches, spec.HostsPerSwitch, err = parseSize(rest[0])
+		if err != nil {
+			return Spec{}, err
+		}
+		rest = rest[1:]
+	}
+	oversubSeen := false
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return Spec{}, fmt.Errorf("topology: dangling %q (options are 'oversub <ratio>' and 'place <block|roundrobin>')", rest[0])
+		}
+		switch rest[0] {
+		case "oversub":
+			if oversubSeen {
+				return Spec{}, fmt.Errorf("topology: duplicate oversub")
+			}
+			oversubSeen = true
+			if spec.Kind != FatTree {
+				return Spec{}, fmt.Errorf("topology: %s has a fixed host-rate uplink; oversub is not a parameter", spec.Kind)
+			}
+			v, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("topology: invalid oversub %q", rest[1])
+			}
+			spec.Oversub = v
+		case "place":
+			p, err := ParsePlacement(rest[1])
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Place = p
+		default:
+			return Spec{}, fmt.Errorf("topology: unknown option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	if spec.Kind == FatTree && !oversubSeen {
+		return Spec{}, fmt.Errorf("topology: fattree needs 'oversub <ratio>'")
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// parseSize parses the "<switches>x<hosts>" size term.
+func parseSize(s string) (switches, hosts int, err error) {
+	a, b, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("topology: invalid size %q (want <switches>x<hostsPerSwitch>, e.g. 4x8)", s)
+	}
+	if switches, err = strconv.Atoi(a); err != nil || switches < 1 {
+		return 0, 0, fmt.Errorf("topology: invalid switch count %q", a)
+	}
+	if hosts, err = strconv.Atoi(b); err != nil || hosts < 1 {
+		return 0, 0, fmt.Errorf("topology: invalid hosts-per-switch %q", b)
+	}
+	return switches, hosts, nil
+}
+
+// LinkDir distinguishes the two directions of an edge-switch uplink.
+type LinkDir uint8
+
+// Uplink directions.
+const (
+	Up   LinkDir = iota // edge switch toward the core
+	Down                // core toward the edge switch
+)
+
+func (d LinkDir) String() string {
+	if d == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// LinkLoad aggregates the traffic one uplink direction carries during a
+// scheme run: how many communications crossed it, their total volume,
+// and the sum of their average rates (volume/time per communication) —
+// the demand the link saw relative to its capacity.
+type LinkLoad struct {
+	Switch   int
+	Dir      LinkDir
+	Flows    int
+	Bytes    float64
+	MeanRate float64 // sum over crossing comms of Volume/time, bytes/second
+}
+
+// LinkLoads computes the per-uplink load of a scheme given the
+// per-communication times (indexed by graph.CommID, as produced by
+// measure.Run or predict). Results are ordered by (switch, direction);
+// idle uplinks are omitted. Trivial fabrics return nil.
+func (s Spec) LinkLoads(g *graph.Graph, times []float64) []LinkLoad {
+	if s.Trivial() || g == nil {
+		return nil
+	}
+	byLink := make(map[[2]int]*LinkLoad)
+	touch := func(sw int, dir LinkDir, volume, t float64) {
+		k := [2]int{sw, int(dir)}
+		l := byLink[k]
+		if l == nil {
+			l = &LinkLoad{Switch: sw, Dir: dir}
+			byLink[k] = l
+		}
+		l.Flows++
+		l.Bytes += volume
+		if t > 0 {
+			l.MeanRate += volume / t
+		}
+	}
+	for _, c := range g.Comms() {
+		ss, ds := s.SwitchOf(c.Src), s.SwitchOf(c.Dst)
+		if ss == ds {
+			continue
+		}
+		t := 0.0
+		if int(c.ID) < len(times) {
+			t = times[c.ID]
+		}
+		touch(ss, Up, c.Volume, t)
+		touch(ds, Down, c.Volume, t)
+	}
+	out := make([]LinkLoad, 0, len(byLink))
+	for _, l := range byLink {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Switch != out[j].Switch {
+			return out[i].Switch < out[j].Switch
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}

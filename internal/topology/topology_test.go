@@ -1,0 +1,191 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bwshare/internal/graph"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"crossbar",
+		"star 4x8 place block",
+		"star 2x2 place roundrobin",
+		"fattree 4x8 oversub 2 place block",
+		"fattree 8x16 oversub 1.5 place roundrobin",
+	}
+	for _, src := range cases {
+		spec, err := ParseSpec(src)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", src, err)
+		}
+		if got := spec.String(); got != src {
+			t.Errorf("ParseSpec(%q).String() = %q", src, got)
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil || again != spec {
+			t.Errorf("round trip of %q: %+v vs %+v (%v)", src, again, spec, err)
+		}
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec("star 4x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Kind: Star, Switches: 4, HostsPerSwitch: 8, Place: Block}
+	if spec != want {
+		t.Errorf("got %+v, want %+v", spec, want)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"mesh 4x8",
+		"star",
+		"star 4",
+		"star 0x8",
+		"star 4x0",
+		"star 4x8 oversub 2", // star has no oversub parameter
+		"star 4x8 oversub 0", // even a zero oversub is rejected on star
+		"fattree 4x8 oversub 0",
+		"fattree 4x8 oversub 0 oversub 2", // duplicate despite zero sentinel
+		"fattree 4x8",                     // fattree requires oversub
+		"fattree 4x8 oversub 0.5",
+		"fattree 4x8 oversub Inf",
+		"fattree 4x8 oversub 2 place diagonal",
+		"fattree 4x8 oversub 2 oversub 3",
+		"fattree 4x8 oversub",
+		"fattree 1x8 oversub 2", // < 2 switches
+		"fattree 99999x8 oversub 2",
+		"star 4x99999",
+		"crossbar 4x8",
+	}
+	for _, src := range bad {
+		if _, err := ParseSpec(src); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", src)
+		}
+	}
+}
+
+func TestValidateCanonical(t *testing.T) {
+	// Crossbar with stray fields is rejected, keeping Spec values
+	// canonical for cache keys.
+	if err := (Spec{Kind: Crossbar, Switches: 4}).Validate(); err == nil {
+		t.Error("crossbar with switches accepted")
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("zero spec: %v", err)
+	}
+}
+
+func TestSwitchOfPlacement(t *testing.T) {
+	block := Spec{Kind: FatTree, Switches: 4, HostsPerSwitch: 2, Oversub: 2, Place: Block}
+	rr := Spec{Kind: FatTree, Switches: 4, HostsPerSwitch: 2, Oversub: 2, Place: RoundRobin}
+	for n, want := range map[graph.NodeID]int{0: 0, 1: 0, 2: 1, 3: 1, 7: 3} {
+		if got := block.SwitchOf(n); got != want {
+			t.Errorf("block.SwitchOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+	for n, want := range map[graph.NodeID]int{0: 0, 1: 1, 2: 2, 3: 3, 4: 0, 7: 3} {
+		if got := rr.SwitchOf(n); got != want {
+			t.Errorf("rr.SwitchOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Total on out-of-range and negative ids.
+	if got := block.SwitchOf(1000); got < 0 || got >= 4 {
+		t.Errorf("SwitchOf(1000) = %d out of range", got)
+	}
+	if got := block.SwitchOf(-1); got != 0 {
+		t.Errorf("SwitchOf(-1) = %d", got)
+	}
+	if got := (Spec{}).SwitchOf(17); got != 0 {
+		t.Errorf("crossbar SwitchOf = %d", got)
+	}
+}
+
+func TestCheckFit(t *testing.T) {
+	spec := Spec{Kind: Star, Switches: 2, HostsPerSwitch: 4, Place: Block}
+	if err := spec.CheckFit(7); err != nil {
+		t.Errorf("node 7 should fit 2x4: %v", err)
+	}
+	if err := spec.CheckFit(8); err == nil {
+		t.Error("node 8 accepted in a 2x4 fabric")
+	}
+	if err := (Spec{}).CheckFit(1 << 30); err != nil {
+		t.Errorf("crossbar is unbounded: %v", err)
+	}
+}
+
+func TestUplinkCap(t *testing.T) {
+	star := Spec{Kind: Star, Switches: 4, HostsPerSwitch: 8, Place: Block}
+	if got := star.UplinkCap(100); got != 100 {
+		t.Errorf("star uplink = %g, want host rate", got)
+	}
+	ft := Spec{Kind: FatTree, Switches: 4, HostsPerSwitch: 8, Oversub: 2, Place: Block}
+	if got := ft.UplinkCap(100); got != 400 {
+		t.Errorf("fattree uplink = %g, want 8*100/2", got)
+	}
+	if got := (Spec{}).UplinkCap(100); !math.IsInf(got, 1) {
+		t.Errorf("crossbar uplink = %g, want +Inf", got)
+	}
+}
+
+func TestCrosses(t *testing.T) {
+	spec := Spec{Kind: Star, Switches: 2, HostsPerSwitch: 2, Place: Block}
+	if spec.Crosses(0, 1) {
+		t.Error("0->1 is intra-switch")
+	}
+	if !spec.Crosses(0, 2) {
+		t.Error("0->2 is inter-switch")
+	}
+	if (Spec{}).Crosses(0, 100) {
+		t.Error("crossbar never crosses")
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	spec := Spec{Kind: FatTree, Switches: 2, HostsPerSwitch: 2, Oversub: 2, Place: Block}
+	g := graph.NewBuilder().
+		Add("a", 0, 2, 10e6). // switch 0 -> switch 1
+		Add("b", 1, 3, 10e6). // switch 0 -> switch 1
+		Add("c", 2, 3, 10e6). // intra-switch
+		MustBuild()
+	times := []float64{2, 2, 1}
+	loads := spec.LinkLoads(g, times)
+	if len(loads) != 2 {
+		t.Fatalf("got %d loads, want 2 (sw0 up, sw1 down): %+v", len(loads), loads)
+	}
+	up, down := loads[0], loads[1]
+	if up.Switch != 0 || up.Dir != Up || up.Flows != 2 || up.Bytes != 20e6 || up.MeanRate != 10e6 {
+		t.Errorf("up load %+v", up)
+	}
+	if down.Switch != 1 || down.Dir != Down || down.Flows != 2 || down.Bytes != 20e6 {
+		t.Errorf("down load %+v", down)
+	}
+	if (Spec{}).LinkLoads(g, times) != nil {
+		t.Error("crossbar should have no link loads")
+	}
+}
+
+func TestKindPlacementStrings(t *testing.T) {
+	for _, s := range []string{"crossbar", "star", "fattree"} {
+		k, err := ParseKind(s)
+		if err != nil || k.String() != s {
+			t.Errorf("kind %q: %v %v", s, k, err)
+		}
+	}
+	if _, err := ParseKind("torus"); err == nil || !strings.Contains(err.Error(), "torus") {
+		t.Errorf("ParseKind(torus): %v", err)
+	}
+	for _, s := range []string{"block", "roundrobin"} {
+		p, err := ParsePlacement(s)
+		if err != nil || p.String() != s {
+			t.Errorf("placement %q: %v %v", s, p, err)
+		}
+	}
+}

@@ -144,6 +144,12 @@ type record struct {
 
 const formatName = "bwshare-trace-v1"
 
+// MaxTasks bounds the task count a trace header may declare. Traces are
+// MPI-rank scale (the paper's runs use 16 tasks); a million ranks is far
+// beyond any workload here while keeping the worst-case slice a header
+// can demand at a few tens of megabytes.
+const MaxTasks = 1 << 20
+
 // Write serializes the trace as JSON Lines.
 func Write(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
@@ -174,7 +180,14 @@ func Read(r io.Reader) (*Trace, error) {
 	if h.Tasks < 0 {
 		return nil, fmt.Errorf("trace: negative task count %d", h.Tasks)
 	}
-	t := &Trace{Tasks: make([]Task, h.Tasks)}
+	if h.Tasks > MaxTasks {
+		return nil, fmt.Errorf("trace: header declares %d tasks, limit %d", h.Tasks, MaxTasks)
+	}
+	// The header's task count is untrusted input: ranks are validated
+	// against it, but the slice grows only as records arrive, so a tiny
+	// file claiming a huge task count cannot make this allocate before
+	// it has paid for the events (the final pad is bounded by MaxTasks).
+	t := &Trace{}
 	for {
 		var rec record
 		if err := dec.Decode(&rec); err == io.EOF {
@@ -185,7 +198,15 @@ func Read(r io.Reader) (*Trace, error) {
 		if rec.Task < 0 || rec.Task >= h.Tasks {
 			return nil, fmt.Errorf("trace: event for task %d, header says %d tasks", rec.Task, h.Tasks)
 		}
+		for len(t.Tasks) <= rec.Task {
+			t.Tasks = append(t.Tasks, nil)
+		}
 		t.Tasks[rec.Task] = append(t.Tasks[rec.Task], rec.Event)
+	}
+	// Trailing event-free tasks produce no records; restore the declared
+	// count so Read(Write(t)) round-trips.
+	for len(t.Tasks) < h.Tasks {
+		t.Tasks = append(t.Tasks, nil)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
