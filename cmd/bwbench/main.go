@@ -124,6 +124,17 @@ func run(args []string, out io.Writer) error {
 		if err := json.Unmarshal(data, base); err != nil {
 			return fmt.Errorf("-check: parsing %s: %w", basePath, err)
 		}
+		if re != nil {
+			// A -filter subset run is only judged against the matching
+			// baseline entries; the rest are out of scope, not missing.
+			var kept []benchsuite.Result
+			for _, b := range base.Benchmarks {
+				if re.MatchString(b.Name) {
+					kept = append(kept, b)
+				}
+			}
+			base.Benchmarks = kept
+		}
 		fmt.Fprintf(out, "checking against %s (PR %d, %s %s/%s)\n",
 			basePath, base.PR, base.Go, base.GOOS, base.GOARCH)
 	}
@@ -192,13 +203,25 @@ func run(args []string, out io.Writer) error {
 // thresholdPct percent, or when it allocates at all while the baseline
 // was zero-alloc (the zero-allocation suites are a hard invariant, not a
 // noisy measurement). Benchmarks missing from the baseline are reported
-// as new and skipped, so adding a suite entry never breaks the gate.
-// slow lists the names failing only the (noise-prone) ns/op check, so
-// the caller can retry them.
+// as new and skipped, so adding a suite entry never breaks the gate —
+// but a baseline benchmark absent from the fresh run fails it: a
+// deleted or renamed suite entry would otherwise silently drop its
+// regression coverage. slow lists the names failing only the
+// (noise-prone) ns/op check, so the caller can retry them.
 func compareResults(cur, base []benchsuite.Result, thresholdPct float64) (lines, slow, failures []string) {
 	baseByName := make(map[string]benchsuite.Result, len(base))
 	for _, b := range base {
 		baseByName[b.Name] = b
+	}
+	curByName := make(map[string]bool, len(cur))
+	for _, c := range cur {
+		curByName[c.Name] = true
+	}
+	for _, b := range base {
+		if !curByName[b.Name] {
+			lines = append(lines, fmt.Sprintf("  %-40s MISSING from this run (deleted or renamed?)", b.Name))
+			failures = append(failures, fmt.Sprintf("%s present in baseline but missing from this run", b.Name))
+		}
 	}
 	for _, c := range cur {
 		b, ok := baseByName[c.Name]

@@ -86,7 +86,6 @@ func TestCompareResults(t *testing.T) {
 	base := []benchsuite.Result{
 		{Name: "a", NsPerOp: 100, AllocsPerOp: 0},
 		{Name: "b", NsPerOp: 100, AllocsPerOp: 5},
-		{Name: "gone", NsPerOp: 1, AllocsPerOp: 0},
 	}
 	cur := []benchsuite.Result{
 		{Name: "a", NsPerOp: 120, AllocsPerOp: 0}, // +20%: within 25%
@@ -119,6 +118,36 @@ func TestCompareResults(t *testing.T) {
 	}
 	if len(slow) != 0 {
 		t.Fatalf("alloc regressions are not retryable, slow = %v", slow)
+	}
+}
+
+// TestCompareResultsMissingFromRun: a baseline benchmark absent from
+// the fresh run (deleted or renamed suite entry) fails the gate instead
+// of silently dropping its regression coverage, and is not retried as a
+// noisy timing.
+func TestCompareResultsMissingFromRun(t *testing.T) {
+	base := []benchsuite.Result{
+		{Name: "kept", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "gone", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	cur := []benchsuite.Result{
+		{Name: "kept", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	lines, slow, failures := compareResults(cur, base, 25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "gone") || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v, want one missing-benchmark failure", failures)
+	}
+	if len(slow) != 0 {
+		t.Fatalf("missing benchmarks are not retryable, slow = %v", slow)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "gone") && strings.Contains(l, "MISSING") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report lines lack a MISSING entry: %v", lines)
 	}
 }
 
@@ -185,5 +214,29 @@ func TestCheckMode(t *testing.T) {
 	}
 	if err := run([]string{"-check", "-baseline", filepath.Join(dir, "missing.json")}, &out); err == nil {
 		t.Fatal("missing baseline file should error")
+	}
+	// A baseline entry the fresh (filtered) run no longer produces must
+	// fail the gate; baseline entries outside the filter stay out of
+	// scope and do not.
+	withGone := snapshot{
+		Schema: "bwshare-bench/v1", PR: 1,
+		Benchmarks: []benchsuite.Result{
+			{Name: "WaterFill/opt/32", N: 1, NsPerOp: 1e12, AllocsPerOp: 0},
+			{Name: "WaterFill/renamed-away/32", N: 1, NsPerOp: 1e12, AllocsPerOp: 0},
+			{Name: "Unrelated/outside-filter", N: 1, NsPerOp: 1e12, AllocsPerOp: 0},
+		},
+	}
+	data, _ := json.Marshal(withGone)
+	gonePath := filepath.Join(dir, "gone.json")
+	if err := os.WriteFile(gonePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-check", "-baseline", gonePath, "-filter", "^WaterFill/"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "missing from this run") {
+		t.Fatalf("baseline benchmark absent from the run should fail the gate, got %v", err)
+	}
+	if strings.Contains(err.Error(), "outside-filter") {
+		t.Fatalf("baseline entries outside -filter must be out of scope, got %v", err)
 	}
 }

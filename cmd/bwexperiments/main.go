@@ -9,7 +9,7 @@
 // Usage:
 //
 //	bwexperiments                     # everything, NumCPU workers
-//	bwexperiments -exp f2             # one experiment: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 topo rnd
+//	bwexperiments -exp f2             # one experiment: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 topo churn rnd
 //	bwexperiments -exp f8 -n 10000    # smaller HPL replay
 //	bwexperiments -random 50 -seed 7  # add a 50-scheme randomized sweep
 //	bwexperiments -parallel 1         # serial execution (same output)
@@ -37,7 +37,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bwexperiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 topo rnd or all")
+	exp := fs.String("exp", "all", "experiment id: f2 f4 f5 f6 f7 f8 f9 a1 a2 a3 x1 topo churn rnd or all")
 	n := fs.Int("n", 20500, "HPL problem size for f8/f9")
 	tasks := fs.Int("tasks", 16, "HPL task count for f8/f9")
 	nodes := fs.Int("nodes", 8, "cluster nodes for f8/f9")

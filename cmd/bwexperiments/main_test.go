@@ -7,14 +7,15 @@ import (
 
 func TestSingleExperiments(t *testing.T) {
 	cases := map[string]string{
-		"f2": "Figure 2",
-		"f4": "Figure 4",
-		"f5": "Figure 5",
-		"f6": "Figure 6",
-		"f7": "Figure 7",
-		"a1": "EXP-A1",
-		"a2": "EXP-A2",
-		"a3": "EXP-A3",
+		"f2":    "Figure 2",
+		"f4":    "Figure 4",
+		"f5":    "Figure 5",
+		"f6":    "Figure 6",
+		"f7":    "Figure 7",
+		"a1":    "EXP-A1",
+		"a2":    "EXP-A2",
+		"a3":    "EXP-A3",
+		"churn": "EXP-CHURN",
 	}
 	for exp, want := range cases {
 		var sb strings.Builder

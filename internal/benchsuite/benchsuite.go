@@ -131,6 +131,106 @@ func (referenceWaterFillAllocator) Allocate(flows []*netsim.Flow) {
 // fat-tree core (the PR-4 acceptance configuration).
 var benchTopo = topology.Spec{Kind: topology.FatTree, Switches: 4, HostsPerSwitch: 4, Oversub: 4, Place: topology.Block}
 
+// churnFlows builds `jobs` independent 4-node ring jobs (4 flows each
+// on a private node range), the canonical multi-component churn
+// population of the PR-5 benchmarks.
+func churnFlows(jobs int) []*netsim.Flow {
+	flows := make([]*netsim.Flow, 0, 4*jobs)
+	for j := 0; j < jobs; j++ {
+		base := graph.NodeID(4 * j)
+		for k := 0; k < 4; k++ {
+			flows = append(flows, &netsim.Flow{
+				ID:  4*j + k,
+				Src: base + graph.NodeID(k), Dst: base + graph.NodeID((k+1)%4),
+				Remaining: 20e6,
+			})
+		}
+	}
+	return flows
+}
+
+// churnAllocBench measures the allocation cost of one churn event pair
+// (a flow departs, the active set is reallocated, the flow returns, the
+// set is reallocated again) with `jobs` independent jobs active. The
+// churned job rotates across iterations. The PR-5 acceptance comparison
+// pairs the incremental component-scoped allocator against the
+// whole-active-set fill at 8 and 64 jobs: the incremental side's event
+// cost must track the (fixed) component size, not the total flow count.
+func churnAllocBench(mk func() netsim.Allocator, jobs int) func(b *testing.B) {
+	return func(b *testing.B) {
+		flows := churnFlows(jobs)
+		alloc := mk()
+		obs, observing := alloc.(netsim.ActiveSetObserver)
+		if observing {
+			obs.ActiveSetReset()
+			for _, f := range flows {
+				obs.FlowStarted(f)
+			}
+		}
+		alloc.Allocate(flows) // warm scratch and component cache
+		n := len(flows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx := (4 * i) % n
+			f := flows[idx]
+			if observing {
+				obs.FlowFinished(f)
+			}
+			flows[idx] = flows[n-1]
+			alloc.Allocate(flows[:n-1])
+			f.Rate = 0
+			if observing {
+				obs.FlowStarted(f)
+			}
+			flows[n-1] = f
+			alloc.Allocate(flows)
+		}
+	}
+}
+
+// churnEngineBench measures the full DES event loop under steady job
+// churn: each op starts a 4-flow ring job at the frontier and advances
+// the engine until the oldest job's four flows complete. With the
+// incremental allocator and the reusable reap scratch this is the PR-5
+// zero-allocation acceptance path.
+func churnEngineBench(jobs int) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := gige.New(gige.DefaultConfig())
+		startJob := func(j int) {
+			base := graph.NodeID(4 * (j % jobs))
+			for k := 0; k < 4; k++ {
+				e.StartFlow(base+graph.NodeID(k), base+graph.NodeID((k+1)%4), 20e6, e.Now())
+			}
+		}
+		// Stagger the initial arrivals so one job departs per op.
+		for j := 0; j < jobs; j++ {
+			e.Advance(float64(j) * 1e-3)
+			startJob(j)
+		}
+		job := jobs
+		cycle := func() {
+			startJob(job)
+			job++
+			for got := 0; got < 4; {
+				done, _ := e.Advance(core.Inf)
+				if len(done) == 0 {
+					b.Fatal("engine stalled mid-churn")
+				}
+				got += len(done)
+			}
+		}
+		for i := 0; i < 2*jobs; i++ {
+			cycle() // warm every pool to steady state
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle()
+		}
+	}
+}
+
 // Suite returns the canonical benchmark list in presentation order.
 func Suite() []Benchmark {
 	gigeCfg := gige.DefaultConfig().Coupled()
@@ -153,6 +253,17 @@ func Suite() []Benchmark {
 		// opt side must stay at 0 allocs/op).
 		{"CoupledAllocator/opt/gige-fattree/32", allocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: gigeTopoCfg} })},
 		{"CoupledAllocator/ref/gige-fattree/32", allocBench(func() netsim.Allocator { return &netsim.ReferenceTopoAllocator{Cfg: gigeTopoCfg} })},
+		// Churn under multi-job consolidation (the PR-5 acceptance
+		// scenario): per-event allocation cost with 8 vs 64 independent
+		// 4-flow jobs active. inc is the incremental component-scoped
+		// allocator (event cost ~ component size), full the whole-set
+		// dense fill (event cost ~ total active flows), and the engine
+		// benchmark runs the complete DES loop at 0 allocs/op.
+		{"ChurnAlloc/inc/gige/8jobs", churnAllocBench(func() netsim.Allocator { return &netsim.IncrementalAllocator{Cfg: gigeCfg} }, 8)},
+		{"ChurnAlloc/inc/gige/64jobs", churnAllocBench(func() netsim.Allocator { return &netsim.IncrementalAllocator{Cfg: gigeCfg} }, 64)},
+		{"ChurnAlloc/full/gige/8jobs", churnAllocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: gigeCfg} }, 8)},
+		{"ChurnAlloc/full/gige/64jobs", churnAllocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: gigeCfg} }, 64)},
+		{"ChurnEngine/gige/32jobs", churnEngineBench(32)},
 		// Whole-substrate runs: fluid engines on the S6 scheme and the
 		// 32-flow random scheme, and the packet-level Myrinet engine.
 		{"Substrate/gige/S6", engineBench(func() core.Engine { return gige.New(gige.DefaultConfig()) }, s6)},

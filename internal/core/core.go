@@ -61,7 +61,10 @@ type Completion struct {
 //     reached or at least one flow completes, whichever is earlier. It
 //     returns the flows that completed at the reached instant (all with
 //     the same Time) and the new frontier. An engine with no active flows
-//     jumps straight to limit.
+//     jumps straight to limit. The returned slice may be scratch owned by
+//     the engine, valid only until the next StartFlow or Advance call;
+//     callers retain completions by copying the values (append of the
+//     elements is enough), never the slice itself.
 //
 // This "advance until the next completion" contract is what lets a driver
 // co-simulate tasks and network without lookahead or rollback: the driver

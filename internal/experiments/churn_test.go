@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChurnSweepShape(t *testing.T) {
+	r := ChurnSweep()
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 fabrics x 3 consolidation levels)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Flows != 4*row.Jobs {
+			t.Errorf("%s/%d jobs: flows = %d, want %d", row.Fabric, row.Jobs, row.Flows, 4*row.Jobs)
+		}
+		if row.Peak <= 0 || row.Peak > row.Flows {
+			t.Errorf("%s/%d jobs: peak = %d out of range", row.Fabric, row.Jobs, row.Peak)
+		}
+		if row.Makespan <= 0 {
+			t.Errorf("%s/%d jobs: makespan = %g", row.Fabric, row.Jobs, row.Makespan)
+		}
+		if row.MeanSlow < 1-1e-9 || row.MaxSlow < row.MeanSlow-1e-12 {
+			t.Errorf("%s/%d jobs: slowdowns mean %g max %g inconsistent", row.Fabric, row.Jobs, row.MeanSlow, row.MaxSlow)
+		}
+	}
+	// Each level emits crossbar, fat-tree/block, fat-tree/roundrobin in
+	// order. Independent ring jobs are perfectly isolated on a crossbar
+	// and on a job-aligned (block) fat-tree; scattering them round-robin
+	// across edge switches couples them through the oversubscribed core.
+	for l := 0; l < 3; l++ {
+		cross, block, rr := r.Rows[3*l], r.Rows[3*l+1], r.Rows[3*l+2]
+		if cross.MeanSlow > 1+1e-9 || block.MeanSlow > 1+1e-9 {
+			t.Errorf("level %d: isolated placements show contention (crossbar %g, block %g)",
+				l, cross.MeanSlow, block.MeanSlow)
+		}
+		if rr.MeanSlow <= block.MeanSlow {
+			t.Errorf("level %d: round-robin placement should contend on uplinks (rr %g <= block %g)",
+				l, rr.MeanSlow, block.MeanSlow)
+		}
+	}
+}
+
+func TestChurnSweepDeterministic(t *testing.T) {
+	a := ChurnTable(ChurnSweep())
+	b := ChurnTable(ChurnSweep())
+	if a != b {
+		t.Fatal("ChurnSweep output differs across runs")
+	}
+	if !strings.Contains(a, "EXP-CHURN") {
+		t.Fatalf("table lacks title:\n%s", a)
+	}
+}

@@ -71,6 +71,9 @@ func Specs(opt Options) []Spec {
 		{ID: "topo", Title: "EXP-TOPO - fat-tree oversubscription sweep", Run: func() (string, error) {
 			return TopoTable(TopoSweep()) + "\n", nil
 		}},
+		{ID: "churn", Title: "EXP-CHURN - multi-job consolidation churn sweep", Run: func() (string, error) {
+			return ChurnTable(ChurnSweep()) + "\n", nil
+		}},
 	}
 	if opt.Sweep.N > 0 {
 		sweep := opt.Sweep

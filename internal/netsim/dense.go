@@ -206,3 +206,21 @@ func (s *fillScratch) begin() {
 	s.effSend = s.effSend[:0]
 	s.inflow = s.inflow[:0]
 }
+
+// maxPooledScratchLen bounds what fillPool retains: a scratch whose
+// per-flow arrays or interner stamp tables grew beyond this (one huge
+// transient scheme, or a scheme addressing a huge node id) is dropped on
+// put instead of pinning its capacity forever. Steady workloads stay far
+// below the cap, so they keep the zero-allocation fast path.
+const maxPooledScratchLen = 1 << 14
+
+// oversized reports whether the scratch has outgrown the pooling cap.
+func (s *fillScratch) oversized() bool {
+	return cap(s.d.sidx) > maxPooledScratchLen ||
+		cap(s.effSend) > maxPooledScratchLen ||
+		cap(s.inflow) > maxPooledScratchLen ||
+		len(s.snd.slot) > maxPooledScratchLen ||
+		len(s.rcv.slot) > maxPooledScratchLen ||
+		len(s.up.slot) > maxPooledScratchLen ||
+		len(s.dn.slot) > maxPooledScratchLen
+}

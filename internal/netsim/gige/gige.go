@@ -68,11 +68,16 @@ func (cfg Config) Coupled() netsim.CoupledConfig {
 	}
 }
 
-// New builds the GigE substrate engine.
+// New builds the GigE substrate engine. Rates come from the incremental
+// component-scoped allocator: each flow arrival or departure refills
+// only the constraint-graph component it touches, so event cost under
+// churn of independent jobs scales with the touched component rather
+// than the whole active set (differential-tested against the
+// full-recompute oracle, netsim.ReferenceComponentAllocator).
 func New(cfg Config) *netsim.FluidEngine {
 	if cfg.LineRate <= 0 || cfg.Beta <= 0 || cfg.Beta > 1 {
 		panic("gige: invalid config")
 	}
-	alloc := &netsim.CoupledAllocator{Cfg: cfg.Coupled()}
+	alloc := &netsim.IncrementalAllocator{Cfg: cfg.Coupled()}
 	return netsim.NewFluidEngine("gige", cfg.Beta*cfg.LineRate, alloc)
 }

@@ -59,11 +59,14 @@ func (cfg Config) Coupled() netsim.CoupledConfig {
 	}
 }
 
-// New builds the InfiniBand substrate engine.
+// New builds the InfiniBand substrate engine. Like the GigE substrate
+// it allocates with the incremental component-scoped allocator, so
+// churny multi-job workloads pay per-component rather than
+// whole-active-set allocation cost on every flow event.
 func New(cfg Config) *netsim.FluidEngine {
 	if cfg.LineRate <= 0 || cfg.BetaIB <= 0 || cfg.BetaIB > 1 || cfg.RxFactor <= 0 {
 		panic("infiniband: invalid config")
 	}
-	alloc := &netsim.CoupledAllocator{Cfg: cfg.Coupled()}
+	alloc := &netsim.IncrementalAllocator{Cfg: cfg.Coupled()}
 	return netsim.NewFluidEngine("infiniband", cfg.BetaIB*cfg.LineRate, alloc)
 }

@@ -12,6 +12,16 @@ import (
 // engines: the experiment runner allocates on many goroutines).
 var fillPool = sync.Pool{New: func() any { return new(fillScratch) }}
 
+// putFillScratch returns scratch to fillPool unless it has outgrown the
+// pooling cap, in which case it is dropped so one huge transient scheme
+// cannot pin its capacity for the life of the process.
+func putFillScratch(sc *fillScratch) {
+	if sc.oversized() {
+		return
+	}
+	fillPool.Put(sc)
+}
+
 // WaterFill computes the max-min fair allocation of rates to flows under
 // three families of constraints: a per-flow rate cap, a capacity per
 // sender NIC and a capacity per receiver NIC. senderCap and recvCap give
@@ -57,7 +67,7 @@ func WaterFill(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.Node
 		d.ridx = append(d.ridx, ri)
 	}
 	d.run(flows, flowCap)
-	fillPool.Put(sc)
+	putFillScratch(sc)
 }
 
 // CoupledConfig parameterizes CoupledAllocator.
@@ -219,22 +229,31 @@ func (a *CoupledAllocator) Allocate(flows []*Flow) {
 		referenceCoupledTopoAllocate(a.Cfg, flows)
 		return
 	}
-	cfg := a.Cfg
-	sc := a.scratch()
+	coupledDenseAllocate(a.Cfg, flows, a.scratch(), &a.live)
+}
+
+// coupledDenseAllocate runs the dense coupled allocation (phases 1-3)
+// over flows, using sc for all per-epoch state. live, when non-nil and
+// tracking, supplies incrementally maintained per-node active counts;
+// otherwise counts are recounted from the slice. Every flow must have
+// passed denseOK. It is the shared core of CoupledAllocator.Allocate and
+// of the per-component fills of IncrementalAllocator, which keeps the
+// two bit-identical on identical flow slices by construction.
+func coupledDenseAllocate(cfg CoupledConfig, flows []*Flow, sc *fillScratch, live *activeCounts) {
 	sc.begin()
 	d := &sc.d
 
 	// Phase 1a: intern endpoints and establish per-sender/per-receiver
 	// active counts — incrementally maintained ones when an engine feeds
 	// us active-set changes, otherwise recounted from the slice.
-	tracked := a.live.tracking
+	tracked := live != nil && live.tracking
 	for _, f := range flows {
 		si, fresh := sc.snd.intern(int(f.Src))
 		if fresh {
 			d.sndCount = append(d.sndCount, 0)
 			sc.effSend = append(sc.effSend, cfg.LineRate)
 			if tracked {
-				d.sndCount[si] = a.live.countOut(f.Src)
+				d.sndCount[si] = live.countOut(f.Src)
 			}
 		}
 		if !tracked {
@@ -246,7 +265,7 @@ func (a *CoupledAllocator) Allocate(flows []*Flow) {
 			d.rcvCount = append(d.rcvCount, 0)
 			sc.inflow = append(sc.inflow, 0)
 			if tracked {
-				d.rcvCount[ri] = a.live.countIn(f.Dst)
+				d.rcvCount[ri] = live.countIn(f.Dst)
 			}
 		}
 		if !tracked {

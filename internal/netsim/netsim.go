@@ -68,7 +68,13 @@ type FluidEngine struct {
 	free   []*Flow // recycled Flow structs, reused by StartFlow
 	nextID int
 	dirty  bool
+	done   []core.Completion // reap scratch, reused across events
 }
+
+// maxFreeFlows bounds the engine's Flow free list. One huge transient
+// scheme would otherwise pin its peak flow count forever; structs beyond
+// the cap are dropped to the garbage collector instead of retained.
+const maxFreeFlows = 1 << 12
 
 var _ core.Engine = (*FluidEngine)(nil)
 var _ core.Resetter = (*FluidEngine)(nil)
@@ -108,10 +114,20 @@ func (e *FluidEngine) RefRate() float64 { return e.refRate }
 // Now returns the engine frontier.
 func (e *FluidEngine) Now() float64 { return e.now }
 
+// recycle returns a completed Flow struct to the free list, dropping it
+// once the list is at capacity (see maxFreeFlows).
+func (e *FluidEngine) recycle(f *Flow) {
+	if len(e.free) < maxFreeFlows {
+		e.free = append(e.free, f)
+	}
+}
+
 // Reset implements core.Resetter.
 func (e *FluidEngine) Reset() {
 	e.now = 0
-	e.free = append(e.free, e.active...)
+	for _, f := range e.active {
+		e.recycle(f)
+	}
 	e.active = e.active[:0]
 	e.nextID = 0
 	e.dirty = false
@@ -153,7 +169,10 @@ func (e *FluidEngine) StartFlow(src, dst graph.NodeID, bytes float64, now float6
 	return f.ID
 }
 
-// Advance implements core.Engine.
+// Advance implements core.Engine. The returned slice is scratch owned by
+// the engine and is valid only until the next Advance or StartFlow call;
+// callers must consume (or copy) it first, which every bwshare driver
+// already does.
 func (e *FluidEngine) Advance(limit float64) ([]core.Completion, float64) {
 	for {
 		if len(e.active) == 0 {
@@ -187,11 +206,13 @@ func (e *FluidEngine) Advance(limit float64) ([]core.Completion, float64) {
 
 // forceReapDue finishes the flows whose completion time equals t within
 // float tolerance (the argmin set of nextCompletionTime). It guarantees
-// progress when byte-space reaping stalls on rounding.
+// progress when byte-space reaping stalls on rounding. Flows already
+// inside the completionEps byte threshold are due regardless of rate, so
+// this path and reap's byte test agree on what counts as finished.
 func (e *FluidEngine) forceReapDue(t float64) []core.Completion {
 	slack := 1e-12 * (1 + math.Abs(t))
 	for _, f := range e.active {
-		if f.Rate > 0 && f.Remaining/f.Rate <= slack {
+		if f.Remaining <= completionEps || (f.Rate > 0 && f.Remaining/f.Rate <= slack) {
 			f.Remaining = 0
 		}
 	}
@@ -212,11 +233,17 @@ func (e *FluidEngine) reallocate() {
 }
 
 // nextCompletionTime returns the earliest finish time among active flows
-// at current rates. Flows with zero rate never finish.
+// at current rates. Flows with zero rate never finish — except flows
+// already within completionEps of done, which are due immediately: a
+// sub-epsilon volume (or an integration residue) paired with a zero rate
+// would otherwise never be reported and hang replay.
 func (e *FluidEngine) nextCompletionTime() (float64, bool) {
 	e.reallocate()
 	best := math.Inf(1)
 	for _, f := range e.active {
+		if f.Remaining <= completionEps {
+			return e.now, true // nothing can be earlier than the frontier
+		}
 		if f.Rate <= 0 {
 			continue
 		}
@@ -247,9 +274,11 @@ func (e *FluidEngine) integrateTo(t float64) {
 }
 
 // reap removes finished flows and returns their completions at time t.
-// Completed Flow structs go back to the free list for reuse.
+// Completed Flow structs go back to the free list for reuse. The
+// returned slice is engine-owned scratch (see Advance), reused across
+// calls so the steady-state event loop allocates nothing.
 func (e *FluidEngine) reap(t float64) []core.Completion {
-	var done []core.Completion
+	done := e.done[:0]
 	keep := e.active[:0]
 	for _, f := range e.active {
 		if f.Remaining <= completionEps {
@@ -257,12 +286,13 @@ func (e *FluidEngine) reap(t float64) []core.Completion {
 			if e.obs != nil {
 				e.obs.FlowFinished(f)
 			}
-			e.free = append(e.free, f)
+			e.recycle(f)
 		} else {
 			keep = append(keep, f)
 		}
 	}
 	e.active = keep
+	e.done = done
 	if len(done) > 0 {
 		e.dirty = true
 	}

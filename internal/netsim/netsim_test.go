@@ -217,3 +217,106 @@ func TestWaterFillMaxMinOptimality(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroRateDueFlowReaped is the stalled-flow regression test: a flow
+// whose Remaining is already within completionEps but whose Rate is 0
+// used to be invisible to nextCompletionTime (zero-rate flows "never
+// finish"), so Advance never returned it and replay hung. It must now
+// complete immediately at the frontier.
+func TestZeroRateDueFlowReaped(t *testing.T) {
+	e := NewFluidEngine("test", 1, constAlloc{rate: 0})
+	e.StartFlow(0, 1, completionEps/2, 0)
+	done, now := e.Advance(core.Inf)
+	if len(done) != 1 || done[0].Time != 0 || now != 0 {
+		t.Fatalf("Advance = (%v, %g), want one completion at t=0", done, now)
+	}
+}
+
+// TestZeroRateDueFlowAmongActive: the due zero-rate flow is reaped even
+// while ordinary flows keep the engine busy, and the ordinary flow
+// still finishes at its own time.
+func TestZeroRateDueFlowAmongActive(t *testing.T) {
+	e := NewFluidEngine("test", 100, rateByID{0: 0, 1: 100})
+	e.StartFlow(0, 1, completionEps/2, 0) // id 0: due, rate 0
+	e.StartFlow(2, 3, 1000, 0)            // id 1: ordinary
+	done, now := e.Advance(core.Inf)
+	if len(done) != 1 || done[0].Flow != 0 || now != 0 {
+		t.Fatalf("first Advance = (%v, %g), want flow 0 at t=0", done, now)
+	}
+	done, now = e.Advance(core.Inf)
+	if len(done) != 1 || done[0].Flow != 1 || math.Abs(now-10) > 1e-12 {
+		t.Fatalf("second Advance = (%v, %g), want flow 1 at t=10", done, now)
+	}
+}
+
+// rateByID assigns rates per flow id (test helper).
+type rateByID map[int]float64
+
+func (a rateByID) Allocate(flows []*Flow) {
+	for _, f := range flows {
+		f.Rate = a[f.ID]
+	}
+}
+
+// TestAdvanceReturnsEngineOwnedScratch: the completions slice is reused
+// across Advance calls (the zero-alloc reap path), so two consecutive
+// completion batches must come back in the same backing array.
+func TestAdvanceReturnsEngineOwnedScratch(t *testing.T) {
+	e := NewFluidEngine("test", 100, constAlloc{rate: 100})
+	e.StartFlow(0, 1, 100, 0)
+	done1, _ := e.Advance(core.Inf)
+	if len(done1) != 1 {
+		t.Fatalf("first batch = %v", done1)
+	}
+	first := done1[0]
+	e.StartFlow(0, 1, 100, e.Now())
+	done2, _ := e.Advance(core.Inf)
+	if len(done2) != 1 {
+		t.Fatalf("second batch = %v", done2)
+	}
+	if &done1[0] == &done2[0] && done1[0] == first {
+		t.Fatal("scratch not reused and not overwritten — impossible state")
+	}
+	if &done1[0] != &done2[0] {
+		t.Fatal("reap did not reuse the completions scratch")
+	}
+}
+
+// TestReapSteadyStateZeroAllocs: a start/complete cycle on a warmed
+// engine allocates nothing, including the completions slice.
+func TestReapSteadyStateZeroAllocs(t *testing.T) {
+	e := NewFluidEngine("test", 100, constAlloc{rate: 100})
+	cycle := func() {
+		e.StartFlow(0, 1, 100, e.Now())
+		if done, _ := e.Advance(core.Inf); len(done) != 1 {
+			t.Fatal("flow did not complete")
+		}
+	}
+	cycle() // warm
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Errorf("event cycle allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestFreeListBounded: completing (or resetting away) a huge transient
+// flow population must not pin every Flow struct on the free list.
+func TestFreeListBounded(t *testing.T) {
+	e := NewFluidEngine("test", 100, constAlloc{rate: 100})
+	const n = maxFreeFlows + 2000
+	for i := 0; i < n; i++ {
+		e.StartFlow(graph.NodeID(2*i), graph.NodeID(2*i+1), 100, 0)
+	}
+	if done, _ := e.Advance(core.Inf); len(done) != n {
+		t.Fatalf("completed %d of %d flows", len(done), n)
+	}
+	if len(e.free) > maxFreeFlows {
+		t.Fatalf("free list holds %d structs after reap, cap is %d", len(e.free), maxFreeFlows)
+	}
+	for i := 0; i < n; i++ {
+		e.StartFlow(graph.NodeID(2*i), graph.NodeID(2*i+1), 100, e.Now())
+	}
+	e.Reset()
+	if len(e.free) > maxFreeFlows {
+		t.Fatalf("free list holds %d structs after Reset, cap is %d", len(e.free), maxFreeFlows)
+	}
+}

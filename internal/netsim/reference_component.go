@@ -1,0 +1,104 @@
+package netsim
+
+// Map-based full-recompute oracle for the incremental component-scoped
+// allocator, in the style of reference.go: on every call it partitions
+// the flow set into connected components of the constraint graph from
+// scratch and fills each component with the retained reference routines.
+// IncrementalAllocator is differential-tested against it and must
+// produce bit-identical rates. Do not "optimize" this file.
+
+// componentKind distinguishes the constraint namespaces of the graph:
+// flows sharing any one constraint belong to one component.
+type componentKind uint8
+
+const (
+	compSender componentKind = iota
+	compReceiver
+	compUplink
+	compDownlink
+)
+
+// componentKey identifies one constraint element.
+type componentKey struct {
+	kind componentKind
+	id   int
+}
+
+// referenceComponentAllocate partitions flows into constraint-graph
+// components and runs the retained map-based coupled allocation on each
+// component's flows, in first-appearance order with slice order
+// preserved inside a component. On a flow set forming one component it
+// is exactly referenceCoupledTopoAllocate.
+func referenceComponentAllocate(cfg CoupledConfig, flows []*Flow) {
+	if len(flows) == 0 {
+		return
+	}
+	// Transliterated textbook union-find over constraint elements.
+	elem := make(map[componentKey]int)
+	parent := []int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(x, y int) int {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[ry] = rx
+		}
+		return rx
+	}
+	slot := func(k componentKey) int {
+		if s, ok := elem[k]; ok {
+			return s
+		}
+		s := len(parent)
+		parent = append(parent, s)
+		elem[k] = s
+		return s
+	}
+	anchor := make([]int, len(flows)) // sender slot of each flow
+	for i, f := range flows {
+		s := slot(componentKey{compSender, int(f.Src)})
+		r := slot(componentKey{compReceiver, int(f.Dst)})
+		root := union(s, r)
+		if !cfg.Topo.Trivial() {
+			ss, ds := cfg.Topo.SwitchOf(f.Src), cfg.Topo.SwitchOf(f.Dst)
+			if ss != ds {
+				root = union(root, slot(componentKey{compUplink, ss}))
+				union(root, slot(componentKey{compDownlink, ds}))
+			}
+		}
+		anchor[i] = s
+	}
+	// Group flows by component root, components ordered by their first
+	// flow, flows inside a component in slice order.
+	groups := make(map[int][]*Flow)
+	var order []int
+	for i, f := range flows {
+		root := find(anchor[i])
+		if _, ok := groups[root]; !ok {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], f)
+	}
+	for _, root := range order {
+		referenceCoupledTopoAllocate(cfg, groups[root])
+	}
+}
+
+// ReferenceComponentAllocator runs the retained map-based
+// component-scoped coupled allocation with a full recompute on every
+// call: the oracle for IncrementalAllocator in differential tests and
+// the bwbench churn harness. Production substrates use
+// IncrementalAllocator.
+type ReferenceComponentAllocator struct {
+	Cfg CoupledConfig
+}
+
+// Allocate implements Allocator.
+func (a *ReferenceComponentAllocator) Allocate(flows []*Flow) {
+	referenceComponentAllocate(a.Cfg, flows)
+}

@@ -274,7 +274,7 @@ func WaterFillTopo(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.
 	}
 	prepTopoLinks(sc, flows, topo, topo.UplinkCap(hostRate))
 	d.runTopo(flows, flowCap)
-	fillPool.Put(sc)
+	putFillScratch(sc)
 }
 
 // TopoFiller imposes a fabric's uplink capacities on flow rates computed

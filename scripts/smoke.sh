@@ -2,7 +2,9 @@
 # End-to-end smoke: build bwserved and bwpredict, start the server, and
 # require /v1/predict?format=text to be byte-identical to bwpredict's
 # stdout for catalog schemes — twice per scheme, so the second response
-# exercises the cache. Used by `make smoke` and the CI smoke job.
+# exercises the cache. Also replays the EXP-CHURN consolidation sweep,
+# which drives the incremental component-scoped allocator through heavy
+# flow churn end to end. Used by `make smoke` and the CI smoke job.
 set -eu
 
 GO=${GO:-go}
@@ -14,7 +16,12 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-$GO build -o "$bin" ./cmd/bwserved ./cmd/bwpredict
+$GO build -o "$bin" ./cmd/bwserved ./cmd/bwpredict ./cmd/bwexperiments
+
+if ! "$bin/bwexperiments" -exp churn | grep -q "EXP-CHURN"; then
+	echo "smoke: bwexperiments -exp churn did not produce the EXP-CHURN table" >&2
+	exit 1
+fi
 
 "$bin/bwserved" -addr 127.0.0.1:0 >"$bin/served.log" 2>&1 &
 pid=$!
