@@ -1,7 +1,9 @@
-// Command bwserved is the long-running HTTP prediction service: the
+// Command bwserved is the long-running HTTP cluster service: the
 // paper's penalty models served over a JSON API (internal/server), with
-// a bounded worker pool of reusable simulator sessions and an LRU
-// response cache for repeated schemes.
+// a bounded worker pool of reusable simulator sessions, an LRU response
+// cache for repeated schemes, and a stateful multi-tenant cluster
+// manager (internal/fleet) whose placement engine ranks candidate
+// task-to-host mappings by what-if simulation.
 //
 // Usage:
 //
@@ -9,11 +11,18 @@
 //	bwserved -addr 127.0.0.1:0        # ephemeral port, printed on stdout
 //	bwserved -workers 8 -cache 4096
 //
-// Endpoints: POST /v1/predict, POST /v1/predict/batch, GET /v1/predict
-// (catalog schemes), GET /v1/models, GET /v1/schemes, GET /v1/healthz,
-// GET /v1/stats. `?format=text` on /v1/predict renders exactly the
-// stdout of `bwpredict -model <m> -scheme <s>` — the CI smoke step diffs
-// the two. See the README for request and response examples.
+// Prediction endpoints: POST /v1/predict, POST /v1/predict/batch,
+// GET /v1/predict (catalog schemes), GET /v1/models, GET /v1/schemes,
+// GET /v1/healthz, GET /v1/stats. `?format=text` on /v1/predict renders
+// exactly the stdout of `bwpredict -model <m> -scheme <s>` — the CI
+// smoke step diffs the two.
+//
+// Cluster endpoints: POST/GET /v1/clusters,
+// GET/DELETE /v1/clusters/{name}, POST/GET /v1/clusters/{name}/jobs,
+// GET/DELETE /v1/clusters/{name}/jobs/{job}, and
+// POST /v1/clusters/{name}/placements to rank placements without
+// admitting. See the README's "Cluster API" section for request and
+// response examples.
 //
 // The process shuts down cleanly on SIGINT or SIGTERM, draining in-flight
 // requests for up to 5 seconds.

@@ -16,6 +16,7 @@ import (
 
 	"bwshare/internal/core"
 	"bwshare/internal/experiments"
+	"bwshare/internal/fleet"
 	"bwshare/internal/graph"
 	"bwshare/internal/measure"
 	"bwshare/internal/netsim"
@@ -315,6 +316,43 @@ func Suite() []Benchmark {
 				r, err := s.Predict(rand32, "gige", false, 0, benchTopo)
 				if err != nil || !r.Cached {
 					b.Fatal("expected a cache hit")
+				}
+			}
+		}},
+		// Placement engine: one full candidate enumeration (block,
+		// roundrobin, greedy, 2 seeded-random) scored by what-if
+		// simulation against 3 resident 4-task jobs on the 16-host
+		// bench fat-tree (4 hosts stay free for the newcomer). This is
+		// the cost of one POST .../placements.
+		{"Fleet/placements/fattree-3resident", func(b *testing.B) {
+			m := fleet.NewManager()
+			if _, err := m.Create(fleet.Spec{Name: "bench", Topo: benchTopo}); err != nil {
+				b.Fatal(err)
+			}
+			// Each job's scheme is over its own task ranks 0..3; the
+			// placement engine maps ranks to distinct hosts.
+			ring := func() *graph.Graph {
+				gb := graph.NewBuilder()
+				for k := 0; k < 4; k++ {
+					gb.Add(fmt.Sprintf("c%d", k), graph.NodeID(k), graph.NodeID((k+1)%4), 20e6)
+				}
+				return gb.MustBuild()
+			}
+			for j := 0; j < 3; j++ {
+				if _, err := m.AddJob("bench", fmt.Sprintf("resident%d", j), ring(), "", 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			scheme := ring()
+			if _, err := m.Placements("bench", scheme, 2); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cands, err := m.Placements("bench", scheme, 2)
+				if err != nil || len(cands) != 5 {
+					b.Fatalf("cands=%d err=%v", len(cands), err)
 				}
 			}
 		}},

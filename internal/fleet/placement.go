@@ -1,0 +1,342 @@
+// Placement engine: enumerate candidate task-to-host mappings for a job
+// and score each by predicted completion time under the cluster's
+// current occupancy (what-if simulation on the cluster's persistent
+// session).
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"bwshare/internal/cluster"
+	"bwshare/internal/graph"
+	"bwshare/internal/mis"
+	"bwshare/internal/sched"
+)
+
+// MaxSeeds bounds the extra seeded-random candidates one enumeration
+// may request.
+const MaxSeeds = 16
+
+// Candidate is one scored placement proposal for a job.
+type Candidate struct {
+	// Strategy names the generator: "block", "roundrobin", "greedy" or
+	// "random:<seed>".
+	Strategy string
+	// Hosts maps task rank r to Hosts[r], a free cluster host.
+	Hosts []graph.NodeID
+	// JobTime is the predicted completion time of the new job (max over
+	// its communications) when started alongside the resident workload.
+	JobTime float64
+	// ClusterTime is the what-if makespan of the whole cluster: resident
+	// jobs plus the newcomer, all restarted together.
+	ClusterTime float64
+	// CoreCrossings counts the job's communications whose endpoints land
+	// on different edge switches (always 0 on a crossbar).
+	CoreCrossings int
+}
+
+// defaultStrategies is the candidate set enumerated by Placements and
+// best-placement admission, before seeded-random extras.
+var defaultStrategies = []string{"block", "roundrobin", "greedy"}
+
+// parseStrategy validates a candidate strategy name and resolves the
+// seed of the random family.
+func parseStrategy(s string) (name string, seed int64, err error) {
+	switch s {
+	case "block", "greedy":
+		return s, 0, nil
+	case "roundrobin", "round-robin", "rr":
+		return "roundrobin", 0, nil
+	case "random":
+		return "random:0", 0, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "random:"); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 0 || k >= MaxSeeds {
+			return "", 0, fmt.Errorf("fleet: random seed %q out of range 0..%d", rest, MaxSeeds-1)
+		}
+		return s, int64(k), nil
+	}
+	return "", 0, fmt.Errorf("fleet: unknown strategy %q (want block, roundrobin, greedy, random:<0..%d> or best)", s, MaxSeeds-1)
+}
+
+// candidatesLocked enumerates the default strategies plus `seeds`
+// seeded-random candidates and returns them scored and sorted best
+// first. c.mu must be held.
+func (c *Cluster) candidatesLocked(scheme *graph.Graph, seeds int) ([]Candidate, error) {
+	if seeds < 0 {
+		seeds = 0
+	}
+	if seeds > MaxSeeds {
+		seeds = MaxSeeds
+	}
+	names := append([]string(nil), defaultStrategies...)
+	for k := 0; k < seeds; k++ {
+		names = append(names, fmt.Sprintf("random:%d", k))
+	}
+	return c.candidatesForLocked(scheme, names)
+}
+
+// candidatesForLocked builds and scores the named candidates, sorted
+// best first. c.mu must be held.
+func (c *Cluster) candidatesForLocked(scheme *graph.Graph, names []string) ([]Candidate, error) {
+	free := c.freeHostsLocked()
+	tasks := int(scheme.MaxNode()) + 1
+	if tasks > len(free) {
+		return nil, fmt.Errorf("fleet: job needs %d hosts, %d free of %d: %w", tasks, len(free), c.hosts, ErrCapacity)
+	}
+	cands := make([]Candidate, 0, len(names))
+	for _, s := range names {
+		name, seed, err := parseStrategy(s)
+		if err != nil {
+			return nil, err
+		}
+		var hosts []graph.NodeID
+		switch {
+		case name == "block":
+			hosts = placeBlock(free, tasks)
+		case name == "roundrobin":
+			hosts = c.placeRoundRobin(free, tasks)
+		case name == "greedy":
+			hosts = c.placeGreedy(scheme, free, tasks)
+		default:
+			hosts, err = placeRandom(free, tasks, seed)
+			if err != nil {
+				return nil, err
+			}
+		}
+		jobTime, clusterTime, err := c.scoreLocked(scheme, hosts)
+		if err != nil {
+			return nil, err
+		}
+		crossings := 0
+		for _, cm := range scheme.Comms() {
+			if c.topo.Crosses(hosts[cm.Src], hosts[cm.Dst]) {
+				crossings++
+			}
+		}
+		cands = append(cands, Candidate{
+			Strategy:      name,
+			Hosts:         hosts,
+			JobTime:       jobTime,
+			ClusterTime:   clusterTime,
+			CoreCrossings: crossings,
+		})
+	}
+	sortCandidates(cands)
+	return cands, nil
+}
+
+// freeHostsLocked lists the unoccupied hosts in ascending id order.
+func (c *Cluster) freeHostsLocked() []graph.NodeID {
+	free := make([]graph.NodeID, 0, c.hosts-len(c.hostJob))
+	for h := 0; h < c.hosts; h++ {
+		if _, busy := c.hostJob[graph.NodeID(h)]; !busy {
+			free = append(free, graph.NodeID(h))
+		}
+	}
+	return free
+}
+
+// placeBlock packs rank r onto the r-th free host: consecutive ranks
+// fill one edge switch before spilling to the next, the dense MPI
+// default (topology.Block over the free set).
+func placeBlock(free []graph.NodeID, tasks int) []graph.NodeID {
+	return append([]graph.NodeID(nil), free[:tasks]...)
+}
+
+// placeRoundRobin stripes ranks across edge switches: the free hosts
+// are reordered to cycle through the switches (ascending switch id,
+// ascending host id within a switch) and ranks take them in that order
+// (topology.RoundRobin over the free set).
+func (c *Cluster) placeRoundRobin(free []graph.NodeID, tasks int) []graph.NodeID {
+	bySwitch := make(map[int][]graph.NodeID)
+	maxSwitch := 0
+	for _, h := range free {
+		sw := c.topo.SwitchOf(h)
+		bySwitch[sw] = append(bySwitch[sw], h)
+		if sw > maxSwitch {
+			maxSwitch = sw
+		}
+	}
+	out := make([]graph.NodeID, 0, tasks)
+	for round := 0; len(out) < tasks; round++ {
+		for sw := 0; sw <= maxSwitch && len(out) < tasks; sw++ {
+			if hosts := bySwitch[sw]; round < len(hosts) {
+				out = append(out, hosts[round])
+			}
+		}
+	}
+	return out
+}
+
+// placeGreedy is the conflict-aware packer: communications are weighted
+// by volume times their conflict pressure in the scheme's maximal
+// independent sets (internal/mis over graph.ConflictAdj — a
+// communication that can send in few of the scheme's states is the one
+// that can least afford to also pay an oversubscribed uplink), then
+// endpoint pairs are co-located onto one edge switch greedily, heaviest
+// first. Leftover ranks fill the remaining free hosts in block order.
+func (c *Cluster) placeGreedy(scheme *graph.Graph, free []graph.NodeID, tasks int) []graph.NodeID {
+	n := scheme.Len()
+	sets := mis.MaximalIndependentSets(scheme.ConflictAdj(graph.SameRole))
+	counts := mis.Counts(sets, n)
+	type weighted struct {
+		id graph.CommID
+		w  float64
+	}
+	order := make([]weighted, n)
+	for i := 0; i < n; i++ {
+		// pressure in [1,2): 2 - (share of states where the comm sends).
+		pressure := 2.0
+		if len(sets) > 0 {
+			pressure = 2 - float64(counts[i])/float64(len(sets))
+		}
+		order[i] = weighted{graph.CommID(i), scheme.Comm(graph.CommID(i)).Volume * pressure}
+	}
+	// Descending weight, ascending id on ties: deterministic.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && (order[j].w > order[j-1].w ||
+			(order[j].w == order[j-1].w && order[j].id < order[j-1].id)); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	// Per-switch free-host pools, ascending host id within each.
+	bySwitch := make(map[int][]graph.NodeID)
+	switches := []int{}
+	for _, h := range free {
+		sw := c.topo.SwitchOf(h)
+		if _, ok := bySwitch[sw]; !ok {
+			switches = append(switches, sw)
+		}
+		bySwitch[sw] = append(bySwitch[sw], h)
+	}
+	// pick removes and returns the lowest free host of switch sw.
+	pick := func(sw int) graph.NodeID {
+		hosts := bySwitch[sw]
+		h := hosts[0]
+		bySwitch[sw] = hosts[1:]
+		return h
+	}
+	// roomiest returns the switch with the most free hosts holding at
+	// least `need` of them (lowest switch id on ties), or -1.
+	roomiest := func(need int) int {
+		best, bestFree := -1, 0
+		for _, sw := range switches {
+			f := len(bySwitch[sw])
+			if f >= need && f > bestFree {
+				best, bestFree = sw, f
+			}
+		}
+		return best
+	}
+	placed := make([]graph.NodeID, tasks)
+	done := make([]bool, tasks)
+	place := func(rank int, sw int) {
+		placed[rank] = pick(sw)
+		done[rank] = true
+	}
+	for _, wc := range order {
+		cm := scheme.Comm(wc.id)
+		s, d := int(cm.Src), int(cm.Dst)
+		switch {
+		case !done[s] && !done[d]:
+			if sw := roomiest(2); sw >= 0 {
+				place(s, sw)
+				place(d, sw)
+			} else {
+				place(s, roomiest(1))
+				place(d, roomiest(1))
+			}
+		case done[s] && !done[d]:
+			sw := c.topo.SwitchOf(placed[s])
+			if len(bySwitch[sw]) == 0 {
+				sw = roomiest(1)
+			}
+			place(d, sw)
+		case !done[s] && done[d]:
+			sw := c.topo.SwitchOf(placed[d])
+			if len(bySwitch[sw]) == 0 {
+				sw = roomiest(1)
+			}
+			place(s, sw)
+		}
+	}
+	// Ranks untouched by any communication fill block-wise.
+	for r := 0; r < tasks; r++ {
+		if !done[r] {
+			for _, sw := range switches {
+				if len(bySwitch[sw]) > 0 {
+					place(r, sw)
+					break
+				}
+			}
+		}
+	}
+	return placed
+}
+
+// placeRandom draws a uniform placement of ranks onto free hosts from
+// the seeded deterministic scheduler (sched.Random over a synthetic
+// one-slot-per-host cluster).
+func placeRandom(free []graph.NodeID, tasks int, seed int64) ([]graph.NodeID, error) {
+	synth := cluster.Cluster{Nodes: len(free), CoresPerNode: 1, MemRate: 1}
+	p, err := sched.Place(sched.Random, synth, tasks, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: random placement: %v", err)
+	}
+	hosts := make([]graph.NodeID, tasks)
+	for r, slot := range p {
+		hosts[r] = free[int(slot)]
+	}
+	return hosts, nil
+}
+
+// scoreLocked runs the what-if simulation: every resident job's
+// communications plus the candidate's, mapped to their hosts, restarted
+// together on the cluster's fabric. Returns the newcomer's completion
+// time and the whole-cluster makespan. A panic inside the fluid engine
+// (the simulator's own failure, not the caller's) is surfaced as
+// ErrInternal. c.mu must be held.
+func (c *Cluster) scoreLocked(scheme *graph.Graph, hosts []graph.NodeID) (jobTime, clusterTime float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fleet: what-if simulation failed: %v: %w", r, ErrInternal)
+		}
+	}()
+	b := graph.NewBuilder()
+	for _, name := range c.order {
+		j := c.jobs[name]
+		for _, cm := range j.scheme.Comms() {
+			// "/" and the "+" newcomer prefix cannot appear in job names,
+			// so the union labels are collision-free.
+			b.Add(name+"/"+cm.Label, j.hosts[cm.Src], j.hosts[cm.Dst], cm.Volume)
+		}
+	}
+	for _, cm := range scheme.Comms() {
+		b.Add("+/"+cm.Label, hosts[cm.Src], hosts[cm.Dst], cm.Volume)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return 0, 0, fmt.Errorf("fleet: building what-if scheme: %v", err)
+	}
+	first := graph.CommID(g.Len() - scheme.Len())
+	times := c.sess.Times(g)
+	jobTime = 0
+	clusterTime = 0
+	for i, t := range times {
+		if math.IsNaN(t) {
+			return 0, 0, fmt.Errorf("fleet: what-if simulation produced NaN time: %w", ErrInternal)
+		}
+		if t > clusterTime {
+			clusterTime = t
+		}
+		if graph.CommID(i) >= first && t > jobTime {
+			jobTime = t
+		}
+	}
+	return jobTime, clusterTime, nil
+}

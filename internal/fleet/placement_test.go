@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"bwshare/internal/graph"
+	"bwshare/internal/topology"
+)
+
+// strategyRank returns the position of a strategy in a sorted candidate
+// list, or -1.
+func strategyRank(cands []Candidate, strategy string) int {
+	for i, c := range cands {
+		if c.Strategy == strategy {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestRankingFlipsBetweenBlockAndRoundRobin is the acceptance test: on
+// an oversubscribed fat-tree (the EXP-CHURN configuration family), the
+// best placement depends on the communication pattern. Neighbor-heavy
+// schemes (rank 2i -> 2i+1) stay intra-switch under block and all cross
+// the core under roundrobin; stride-4 schemes (rank r -> r+4) are the
+// mirror image. The engine must flip the ranking accordingly, with the
+// predicted times showing the oversubscribed uplink penalty.
+func TestRankingFlipsBetweenBlockAndRoundRobin(t *testing.T) {
+	neighbors := pairs(t, [2]int{0, 1}, [2]int{2, 3}, [2]int{4, 5}, [2]int{6, 7})
+	stride4 := pairs(t, [2]int{0, 4}, [2]int{1, 5}, [2]int{2, 6}, [2]int{3, 7})
+	for _, tc := range []struct {
+		name           string
+		scheme         *graph.Graph
+		winner, loser  string
+		loserCrossings int
+	}{
+		{"neighbors favor block", neighbors, "block", "roundrobin", 4},
+		{"stride-4 favors roundrobin", stride4, "roundrobin", "block", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewManager()
+			if _, err := m.Create(Spec{Name: "c", Topo: fatTree()}); err != nil {
+				t.Fatal(err)
+			}
+			cands, err := m.Placements("c", tc.scheme, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) != 3 {
+				t.Fatalf("%d candidates, want 3 (block, roundrobin, greedy)", len(cands))
+			}
+			w, l := strategyRank(cands, tc.winner), strategyRank(cands, tc.loser)
+			if w < 0 || l < 0 || w > l {
+				t.Fatalf("ranking %v: want %s before %s", names(cands), tc.winner, tc.loser)
+			}
+			if cands[w].JobTime >= cands[l].JobTime {
+				t.Errorf("%s time %g should beat %s time %g",
+					tc.winner, cands[w].JobTime, tc.loser, cands[l].JobTime)
+			}
+			if cands[w].CoreCrossings != 0 || cands[l].CoreCrossings != tc.loserCrossings {
+				t.Errorf("crossings: winner %d (want 0), loser %d (want %d)",
+					cands[w].CoreCrossings, cands[l].CoreCrossings, tc.loserCrossings)
+			}
+			// The winner keeps every flow at the uncontended NIC rate;
+			// the loser pays the 4 flows / 1 host-rate uplink squeeze.
+			if ratio := cands[l].JobTime / cands[w].JobTime; ratio < 3.5 {
+				t.Errorf("oversubscription penalty ratio = %g, want ~4", ratio)
+			}
+		})
+	}
+}
+
+// TestPlacementsDeterministic: two enumerations of the same state must
+// agree exactly, including the random candidates (seeded) and the
+// ordering of ties.
+func TestPlacementsDeterministic(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Create(Spec{Name: "c", Topo: fatTree()}); err != nil {
+		t.Fatal(err)
+	}
+	scheme := pairs(t, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	a, err := m.Placements("c", scheme, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Placements("c", scheme, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 {
+		t.Fatalf("%d candidates, want 6", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("nondeterministic enumeration:\n%v\n%v", a, b)
+	}
+}
+
+// TestGreedyCoLocatesHeavyPairsUnderFragmentation: with switch 0 nearly
+// full, block and roundrobin both split the only communication across
+// the core, while the greedy packer sees that switch 1 has room for the
+// pair and keeps it intra-switch. The 8:1 oversubscription makes even a
+// single uncontended crossing slower than the NIC line rate (uplink =
+// 4 * hostRate / 8), so the split placements genuinely lose.
+func TestGreedyCoLocatesHeavyPairsUnderFragmentation(t *testing.T) {
+	m := NewManager()
+	topo := topology.Spec{Kind: topology.FatTree, Switches: 2, HostsPerSwitch: 4, Oversub: 8}
+	if _, err := m.Create(Spec{Name: "c", Topo: topo}); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy hosts 0..2 (switch 0 keeps a single free host, 3).
+	ring3 := pairs(t, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0})
+	if _, err := m.AddJob("c", "resident", ring3, "block", 0); err != nil {
+		t.Fatal(err)
+	}
+	one := pairs(t, [2]int{0, 1})
+	cands, err := m.Placements("c", one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := cands[0]
+	if best.Strategy != "greedy" || best.CoreCrossings != 0 {
+		t.Fatalf("best = %+v, want an intra-switch greedy placement", best)
+	}
+	for _, s := range []string{"block", "roundrobin"} {
+		c := cands[strategyRank(cands, s)]
+		if c.CoreCrossings != 1 || c.JobTime <= best.JobTime {
+			t.Errorf("%s: %+v should cross the core and lose to greedy %g", s, c, best.JobTime)
+		}
+	}
+	// Admission with the default best-candidate policy picks greedy.
+	j, err := m.AddJob("c", "newcomer", one, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Strategy != "greedy" || j.Time != best.JobTime {
+		t.Errorf("admitted %+v, want the greedy candidate at %g", j, best.JobTime)
+	}
+}
+
+// TestPlacementTrivialFabric: on a crossbar every placement is
+// equivalent (no uplinks), so all candidates tie and sort by name.
+func TestPlacementTrivialFabric(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Create(Spec{Name: "c", Hosts: 8}); err != nil {
+		t.Fatal(err)
+	}
+	scheme := pairs(t, [2]int{0, 1}, [2]int{0, 2})
+	cands, err := m.Placements("c", scheme, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cands {
+		if c.JobTime != cands[0].JobTime || c.CoreCrossings != 0 {
+			t.Errorf("candidate %d: %+v, want a tie with zero crossings", i, c)
+		}
+	}
+	want := []string{"block", "greedy", "random:0", "roundrobin"}
+	if fmt.Sprint(names(cands)) != fmt.Sprint(want) {
+		t.Errorf("tie order = %v, want %v", names(cands), want)
+	}
+}
+
+func names(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Strategy
+	}
+	return out
+}
+
+// TestPlacementCapacityAndValidation covers the error paths.
+func TestPlacementCapacityAndValidation(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Create(Spec{Name: "c", Hosts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Placements("c", pairs(t, [2]int{0, 2}), 0); err == nil {
+		t.Error("3-rank scheme on 2 hosts should be rejected")
+	}
+	if _, err := m.Placements("nope", pairs(t, [2]int{0, 1}), 0); err == nil {
+		t.Error("unknown cluster should be rejected")
+	}
+	if _, err := m.Placements("c", nil, 0); err == nil {
+		t.Error("nil scheme should be rejected")
+	}
+	if _, err := m.AddJob("c", "j", pairs(t, [2]int{0, 1}), "pack", 0); err == nil {
+		t.Error("unknown strategy should be rejected")
+	}
+}
+
+// TestStarFabricPlacement sanity-checks SwitchOf-driven striping on the
+// star fabric too (uplink capacity = one host rate).
+func TestStarFabricPlacement(t *testing.T) {
+	m := NewManager()
+	topo := topology.Spec{Kind: topology.Star, Switches: 2, HostsPerSwitch: 2}
+	if _, err := m.Create(Spec{Name: "c", Topo: topo}); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := m.Placements("c", pairs(t, [2]int{0, 1}, [2]int{2, 3}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cands[strategyRank(cands, "block")]
+	r := cands[strategyRank(cands, "roundrobin")]
+	if b.CoreCrossings != 0 || r.CoreCrossings != 2 {
+		t.Errorf("crossings: block %d (want 0), roundrobin %d (want 2)", b.CoreCrossings, r.CoreCrossings)
+	}
+	if b.JobTime >= r.JobTime {
+		t.Errorf("block %g should beat roundrobin %g on a star", b.JobTime, r.JobTime)
+	}
+}

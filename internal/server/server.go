@@ -1,7 +1,9 @@
-// Package server implements the bwserved HTTP prediction service: the
-// paper's penalty models behind a JSON API, backed by a bounded worker
-// pool of reusable predict.Sessions and an LRU response cache keyed by
-// canonical scheme hash x model x reference rate.
+// Package server implements the bwserved HTTP service: the paper's
+// penalty models behind a JSON API, backed by a bounded worker pool of
+// reusable predict.Sessions and an LRU response cache keyed by
+// canonical scheme hash x model x reference rate, plus a stateful
+// multi-tenant cluster manager (internal/fleet) with a placement
+// engine.
 //
 // Endpoints (all under /v1):
 //
@@ -10,26 +12,45 @@
 //	                        penalties and predicted times out;
 //	                        ?format=text renders exactly bwpredict's
 //	                        stdout for the same model and scheme
-//	GET  /v1/predict        catalog convenience: ?name=s4&model=gige
+//	GET  /v1/predict        catalog convenience: ?name=s4&model=gige;
+//	                        unknown or malformed query keys are rejected
 //	POST /v1/predict/batch  up to MaxBatch predict requests in one call
 //	GET  /v1/models         model registry with reference rates
 //	GET  /v1/schemes        built-in scheme catalog
 //	GET  /v1/healthz        liveness probe
-//	GET  /v1/stats          request and cache counters
+//	GET  /v1/stats          request, error, cache and cluster counters
+//
+//	POST   /v1/clusters                         create a named cluster
+//	GET    /v1/clusters                         list clusters
+//	GET    /v1/clusters/{name}                  cluster with jobs and occupancy
+//	DELETE /v1/clusters/{name}                  delete a cluster
+//	POST   /v1/clusters/{name}/jobs             admit a job (auto-placed)
+//	GET    /v1/clusters/{name}/jobs             list resident jobs
+//	GET    /v1/clusters/{name}/jobs/{job}       one resident job
+//	DELETE /v1/clusters/{name}/jobs/{job}       evict a job, freeing hosts
+//	POST   /v1/clusters/{name}/placements       rank candidate placements
 //
 // Repeated schemes are served from the cache without touching the
 // simulator; the hit path performs zero heap allocations (benchmarked in
 // internal/benchsuite).
+//
+// Client mistakes (unknown models, malformed schemes, missing clusters)
+// are 4xx with a JSON error envelope; failures of the service itself —
+// a recovered simulator panic — are 500 and counted separately in
+// /v1/stats.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 
 	"bwshare/internal/core"
+	"bwshare/internal/fleet"
 	"bwshare/internal/graph"
 	"bwshare/internal/predict"
 	"bwshare/internal/report"
@@ -65,18 +86,41 @@ type Config struct {
 
 // Server is the HTTP prediction service. Create with New.
 type Server struct {
-	cfg    Config
-	canon  map[string]string // accepted model name -> canonical name
-	models map[string]core.Model
-	refs   map[string]float64 // canonical name -> substrate reference rate
-	pool   chan *worker
-	cache  *lru
-	mux    *http.ServeMux
+	cfg      Config
+	canon    map[string]string // accepted model name -> canonical name
+	models   map[string]core.Model
+	refs     map[string]float64 // canonical name -> substrate reference rate
+	pool     chan *worker
+	cache    *lru
+	clusters *fleet.Manager
+	mux      *http.ServeMux
 
-	requests    atomic.Int64
-	errors      atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	requests       atomic.Int64 // one per predict request, batch *item*, or other call
+	batchItems     atomic.Int64 // batch items alone (subset of requests)
+	clientErrors   atomic.Int64 // 4xx: the request was at fault
+	internalErrors atomic.Int64 // 5xx: the service was at fault
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+}
+
+// errInternal marks failures of the service itself — a recovered
+// simulator panic — as opposed to a rejected request. statusFor maps it
+// to 500 where plain errors map to 400.
+var errInternal = errors.New("internal error")
+
+// statusFor translates an error from the predict or fleet layers into
+// the HTTP status the client should see.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errInternal) || errors.Is(err, fleet.ErrInternal):
+		return http.StatusInternalServerError
+	case errors.Is(err, fleet.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, fleet.ErrExists) || errors.Is(err, fleet.ErrCapacity):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // worker holds the per-model prediction sessions of one pool slot. A
@@ -114,13 +158,14 @@ func New(cfg Config) *Server {
 		cfg.CacheSize = 1024
 	}
 	s := &Server{
-		cfg:    cfg,
-		canon:  make(map[string]string),
-		models: make(map[string]core.Model),
-		refs:   make(map[string]float64),
-		pool:   make(chan *worker, cfg.Workers),
-		cache:  newLRU(cfg.CacheSize),
-		mux:    http.NewServeMux(),
+		cfg:      cfg,
+		canon:    make(map[string]string),
+		models:   make(map[string]core.Model),
+		refs:     make(map[string]float64),
+		pool:     make(chan *worker, cfg.Workers),
+		cache:    newLRU(cfg.CacheSize),
+		clusters: fleet.NewManager(),
+		mux:      http.NewServeMux(),
 	}
 	for _, name := range predict.ModelNames() {
 		m, sub, err := predict.LookupModel(name)
@@ -186,13 +231,15 @@ func (s *Server) Predict(g *graph.Graph, modelName string, static bool, refOverr
 // compute runs the simulator on a pooled worker. The worker is returned
 // to the pool even if the engine panics on a degenerate scheme (a lost
 // worker would shrink the pool until the service deadlocks), and the
-// panic is converted to an error for the HTTP layer.
+// panic is converted to an errInternal-wrapped error so the HTTP layer
+// answers 500, not 400: an engine panic is the service failing, not the
+// client.
 func (s *Server) compute(g *graph.Graph, name string, static bool, ref float64, topo topology.Spec) (pen, times []float64, err error) {
 	w := <-s.pool
 	defer func() {
 		s.pool <- w
 		if r := recover(); r != nil {
-			err = fmt.Errorf("prediction failed: %v", r)
+			err = fmt.Errorf("prediction failed: %v: %w", r, errInternal)
 		}
 	}()
 	// Sessions are cached per model only at the substrate's default
@@ -296,9 +343,12 @@ type BatchRequest struct {
 	Requests []PredictRequest `json:"requests"`
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Status is set only on batch
+// item errors, where the enclosing HTTP status (200) cannot carry the
+// per-item classification.
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Status int    `json:"status,omitempty"`
 }
 
 func (s *Server) routes() {
@@ -309,6 +359,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+
+	s.mux.HandleFunc("POST /v1/clusters", s.handleClusterCreate)
+	s.mux.HandleFunc("GET /v1/clusters", s.handleClusterList)
+	s.mux.HandleFunc("GET /v1/clusters/{name}", s.handleClusterGet)
+	s.mux.HandleFunc("DELETE /v1/clusters/{name}", s.handleClusterDelete)
+	s.mux.HandleFunc("POST /v1/clusters/{name}/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/clusters/{name}/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/clusters/{name}/jobs/{job}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/clusters/{name}/jobs/{job}", s.handleJobDelete)
+	s.mux.HandleFunc("POST /v1/clusters/{name}/placements", s.handlePlacements)
 }
 
 func (s *Server) handlePredictPost(w http.ResponseWriter, r *http.Request) {
@@ -322,13 +382,49 @@ func (s *Server) handlePredictPost(w http.ResponseWriter, r *http.Request) {
 	s.servePredict(w, r, req)
 }
 
+// handlePredictGet is the catalog convenience form. The query grammar
+// is strict: an unknown key (a typo like ?refrate=1e9), a repeated key,
+// or a malformed value is a 400, never silently ignored — a typo that
+// drops a parameter would yield a confidently wrong prediction.
 func (s *Server) handlePredictGet(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	q := r.URL.Query()
-	req := PredictRequest{
-		Model:  q.Get("model"),
-		Name:   q.Get("name"),
-		Static: q.Get("static") == "true" || q.Get("static") == "1",
+	var req PredictRequest
+	for key, vals := range r.URL.Query() {
+		if len(vals) != 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("duplicate query parameter %q", key))
+			return
+		}
+		v := vals[0]
+		switch key {
+		case "name":
+			req.Name = v
+		case "model":
+			req.Model = v
+		case "static":
+			switch v {
+			case "true", "1":
+				req.Static = true
+			case "false", "0":
+			default:
+				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("static must be true, false, 1 or 0, got %q", v))
+				return
+			}
+		case "ref_rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("ref_rate %q is not a number", v))
+				return
+			}
+			req.RefRate = f
+		case "format":
+			if v != "text" && v != "json" {
+				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("format must be text or json, got %q", v))
+				return
+			}
+		default:
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown query parameter %q (want name, model, static, ref_rate or format)", key))
+			return
+		}
 	}
 	if req.Name == "" {
 		s.writeError(w, http.StatusBadRequest, "GET /v1/predict needs ?name=<catalog scheme>; POST a body for scheme text")
@@ -343,7 +439,7 @@ func (s *Server) handlePredictGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) servePredict(w http.ResponseWriter, r *http.Request, req PredictRequest) {
 	g, topo, res, err := s.resolveAndPredict(req)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, statusFor(err), err.Error())
 		return
 	}
 	if r.URL.Query().Get("format") == "text" {
@@ -368,28 +464,38 @@ func (s *Server) buildPrediction(req PredictRequest, g *graph.Graph, topo topolo
 	return p
 }
 
+// handleBatch runs up to MaxBatch predictions in one call. Each item
+// counts as one request in /v1/stats (and in batch_items), so the
+// errors <= requests invariant survives batches where every item fails;
+// a rejected envelope (malformed body, empty or oversized batch) counts
+// as a single request.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	var req BatchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.requests.Add(1)
 		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if len(req.Requests) == 0 {
+		s.requests.Add(1)
 		s.writeError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
 	if len(req.Requests) > MaxBatch {
+		s.requests.Add(1)
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), MaxBatch))
 		return
 	}
+	s.requests.Add(int64(len(req.Requests)))
+	s.batchItems.Add(int64(len(req.Requests)))
 	results := make([]any, len(req.Requests))
 	for i, one := range req.Requests {
 		g, topo, res, err := s.resolveAndPredict(one)
 		if err != nil {
-			s.errors.Add(1)
-			results[i] = errorBody{Error: err.Error()}
+			code := statusFor(err)
+			s.countError(code)
+			results[i] = errorBody{Error: err.Error(), Status: code}
 			continue
 		}
 		results[i] = s.buildPrediction(one, g, topo, res)
@@ -530,27 +636,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// Stats is the /v1/stats document.
+// Stats is the /v1/stats document. Requests counts predict calls,
+// batch *items* and catalog/stats calls alike, so Errors (client +
+// internal) can never exceed it; BatchItems is the batch-borne subset
+// of Requests.
 type Stats struct {
-	Requests      int64 `json:"requests"`
-	Errors        int64 `json:"errors"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	CacheEntries  int   `json:"cache_entries"`
-	CacheCapacity int   `json:"cache_capacity"`
-	Workers       int   `json:"workers"`
+	Requests       int64 `json:"requests"`
+	BatchItems     int64 `json:"batch_items"`
+	Errors         int64 `json:"errors"`
+	ClientErrors   int64 `json:"client_errors"`
+	InternalErrors int64 `json:"internal_errors"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	CacheCapacity  int   `json:"cache_capacity"`
+	Workers        int   `json:"workers"`
+	Clusters       int   `json:"clusters"`
 }
 
 // Snapshot returns the current counters.
 func (s *Server) Snapshot() Stats {
+	client, internal := s.clientErrors.Load(), s.internalErrors.Load()
 	return Stats{
-		Requests:      s.requests.Load(),
-		Errors:        s.errors.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		CacheEntries:  s.cache.len(),
-		CacheCapacity: max(s.cfg.CacheSize, 0),
-		Workers:       s.cfg.Workers,
+		Requests:       s.requests.Load(),
+		BatchItems:     s.batchItems.Load(),
+		Errors:         client + internal,
+		ClientErrors:   client,
+		InternalErrors: internal,
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheEntries:   s.cache.len(),
+		CacheCapacity:  max(s.cfg.CacheSize, 0),
+		Workers:        s.cfg.Workers,
+		Clusters:       s.clusters.Len(),
 	}
 }
 
@@ -570,8 +688,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(data, '\n'))
 }
 
+// countError attributes one failed request to the client or the
+// service by status code.
+func (s *Server) countError(code int) {
+	if code >= http.StatusInternalServerError {
+		s.internalErrors.Add(1)
+	} else {
+		s.clientErrors.Add(1)
+	}
+}
+
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
-	s.errors.Add(1)
+	s.countError(code)
 	data, _ := json.Marshal(errorBody{Error: msg})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

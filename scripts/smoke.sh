@@ -4,7 +4,10 @@
 # stdout for catalog schemes — twice per scheme, so the second response
 # exercises the cache. Also replays the EXP-CHURN consolidation sweep,
 # which drives the incremental component-scoped allocator through heavy
-# flow churn end to end. Used by `make smoke` and the CI smoke job.
+# flow churn end to end, and runs a cluster lifecycle pass (create,
+# admit, rank placements, evict, delete) whose concatenated responses
+# must match scripts/testdata/cluster_smoke.golden byte for byte.
+# Used by `make smoke` and the CI smoke job.
 set -eu
 
 GO=${GO:-go}
@@ -68,7 +71,34 @@ if [ "${hits:-0}" -lt 1 ]; then
 	fail=1
 fi
 
+# Cluster lifecycle: create an oversubscribed fat-tree cluster, admit a
+# neighbor-pair job (best placement must be block), rank placements for
+# a stride-4 scheme (best must be roundrobin), evict and delete. The
+# transcript is deterministic — the simulator is — so it is diffed
+# byte-for-byte against the committed golden file. -w '\n' terminates
+# each body (bwserved already ends them with a newline, giving a blank
+# separator line); curl runs without -f because the final probe expects
+# a 404 body.
+golden="$(dirname "$0")/testdata/cluster_smoke.golden"
+{
+	curl -s -X POST "$base/v1/clusters" -d \
+		'{"name":"smoke","topology":{"kind":"fattree","switches":2,"hosts_per_switch":4,"oversub":4}}' -w '\n'
+	curl -s -X POST "$base/v1/clusters/smoke/jobs" -d \
+		'{"name":"neighbors","comms":[{"src":0,"dst":1},{"src":2,"dst":3},{"src":4,"dst":5},{"src":6,"dst":7}]}' -w '\n'
+	curl -s "$base/v1/clusters/smoke" -w '\n'
+	curl -s -X DELETE "$base/v1/clusters/smoke/jobs/neighbors" -w '\n'
+	curl -s -X POST "$base/v1/clusters/smoke/placements" -d \
+		'{"comms":[{"src":0,"dst":4},{"src":1,"dst":5},{"src":2,"dst":6},{"src":3,"dst":7}]}' -w '\n'
+	curl -s -X DELETE "$base/v1/clusters/smoke" -w '\n'
+	curl -s "$base/v1/clusters/smoke" -w '\n'
+} >"$bin/cluster.txt"
+if ! cmp -s "$golden" "$bin/cluster.txt"; then
+	echo "smoke: cluster lifecycle transcript differs from $golden:" >&2
+	diff "$golden" "$bin/cluster.txt" >&2 || true
+	fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
-	echo "smoke: bwserved responses byte-identical to bwpredict (cache hits: $hits)"
+	echo "smoke: bwserved responses byte-identical to bwpredict (cache hits: $hits); cluster lifecycle matches golden"
 fi
 exit "$fail"
