@@ -17,7 +17,7 @@ test:
 # step: the parallel experiment runner, the engines, and the HTTP
 # serving layer.
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/netsim/... ./internal/des/ ./internal/server/ ./internal/fleet/ ./cmd/bwserved/
+	$(GO) test -race ./internal/experiments/ ./internal/fault/ ./internal/netsim/... ./internal/des/ ./internal/server/ ./internal/fleet/ ./cmd/bwserved/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

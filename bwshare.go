@@ -45,6 +45,7 @@ import (
 	"bwshare/internal/calibrate"
 	"bwshare/internal/cluster"
 	"bwshare/internal/core"
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/hpl"
 	"bwshare/internal/measure"
@@ -104,6 +105,14 @@ type (
 	// star-of-switches or two-level fat-tree; see internal/topology).
 	// The zero value is the paper's single crossbar.
 	Topology = topology.Spec
+	// FaultSchedule is a deterministic timetable of fabric faults —
+	// uplink outages, fractional link degradations and per-host NIC
+	// slowdowns (see internal/fault). The zero value is a healthy
+	// fabric.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled fault with its injection and repair
+	// times.
+	FaultEvent = fault.Event
 )
 
 // AnySource is the wildcard receive peer (MPI_ANY_SOURCE).
@@ -124,9 +133,23 @@ func FormatScheme(g *Scheme) string { return schemelang.Format(g) }
 func ParseTopology(src string) (Topology, error) { return topology.ParseSpec(src) }
 
 // ParseSchemeWithTopology parses a scheme together with its optional
-// 'topology:' and 'place:' headers.
+// 'topology:' and 'place:' headers. It rejects 'fault:' headers; use
+// ParseSchemeFull for schemes that degrade their fabric.
 func ParseSchemeWithTopology(src string) (*Scheme, Topology, error) {
 	return schemelang.ParseWithTopology(src)
+}
+
+// ParseSchemeFull parses a scheme together with all of its optional
+// headers: 'topology:', 'place:' and 'fault:'. The returned schedule
+// is empty when the scheme declares no faults.
+func ParseSchemeFull(src string) (*Scheme, Topology, FaultSchedule, error) {
+	return schemelang.ParseFull(src)
+}
+
+// ParseFaultEvent parses one fault description such as
+// "link 0 down at 2 until 5" or "host 3 slow 0.5 at 1".
+func ParseFaultEvent(src string) (FaultEvent, error) {
+	return fault.ParseEvent(src)
 }
 
 // NamedScheme returns a scheme from the paper's registry
@@ -189,6 +212,14 @@ func NewPredictor(m Model, refRate float64) Engine { return predict.NewEngine(m,
 // rates are additionally capped by the fabric's shared uplinks.
 func NewPredictorOn(m Model, refRate float64, topo Topology) Engine {
 	return predict.NewEngineWithTopology(m, refRate, topo)
+}
+
+// NewPredictorFaulted is NewPredictorOn on a dynamic fabric: the
+// schedule's faults are injected and repaired on the engine's clock.
+// It rejects invalid schedules and permanent total outages (which
+// would leave flows that never finish).
+func NewPredictorFaulted(m Model, refRate float64, topo Topology, sched FaultSchedule) (Engine, error) {
+	return predict.NewEngineWithFaults(m, refRate, topo, sched)
 }
 
 // Measure runs a scheme on an engine with all communications starting

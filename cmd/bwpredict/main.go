@@ -11,7 +11,9 @@
 //
 // A scheme file may declare its fabric with a 'topology:' header
 // instead of the -topology flag (not both). On a multi-switch fabric
-// the report gains a per-uplink utilization table.
+// the report gains a per-uplink utilization table. 'fault:' headers
+// degrade the fabric mid-replay (see the schemelang package doc); the
+// prediction then runs on the dynamic, faulted fabric.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	"bwshare/internal/core"
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/measure"
 	"bwshare/internal/predict"
@@ -55,7 +58,7 @@ func run(args []string, out io.Writer) error {
 	if !core.ValidRefRate(*refFlag) {
 		return fmt.Errorf("-ref must be a positive finite rate in bytes/second, got %g", *refFlag)
 	}
-	g, topo, err := loadScheme(*schemeName, *file)
+	g, topo, sched, err := loadScheme(*schemeName, *file)
 	if err != nil {
 		return err
 	}
@@ -69,9 +72,15 @@ func run(args []string, out io.Writer) error {
 		if err := topo.CheckFit(g.MaxNode()); err != nil {
 			return err
 		}
+		// Link faults were already validated against the file's own
+		// (trivial) fabric at parse time; a file that degrades uplinks
+		// must declare its fabric in the same file.
 	}
 	if !topo.Trivial() && *static {
 		return fmt.Errorf("-static is crossbar-only (the static formulas cannot see the fabric); drop -static or the topology")
+	}
+	if !sched.Empty() && *static {
+		return fmt.Errorf("-static cannot model faults (the static formulas have no clock); drop -static or the fault: headers")
 	}
 	m, sub, err := predict.LookupModel(*modelName)
 	if err != nil {
@@ -81,7 +90,17 @@ func run(args []string, out io.Writer) error {
 	if ref == 0 {
 		ref = sub.RefRate()
 	}
-	sess := predict.NewSessionWithTopology(m, ref, topo)
+	var sess *predict.Session
+	if sched.Empty() {
+		sess = predict.NewSessionWithTopology(m, ref, topo)
+	} else {
+		if *compare {
+			return fmt.Errorf("-compare measures the healthy substrate; drop -compare or the fault: headers")
+		}
+		if sess, err = predict.NewSessionWithFaults(m, ref, topo, sched); err != nil {
+			return err
+		}
+	}
 	// Penalties first: times points into session scratch, which is only
 	// valid until the next Session call.
 	pen := sess.StaticPenalties(g)
@@ -111,29 +130,29 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func loadScheme(name, file string) (*graph.Graph, topology.Spec, error) {
+func loadScheme(name, file string) (*graph.Graph, topology.Spec, fault.Schedule, error) {
 	switch {
 	case name != "" && file != "":
-		return nil, topology.Spec{}, fmt.Errorf("use either -scheme or -file, not both")
+		return nil, topology.Spec{}, fault.Schedule{}, fmt.Errorf("use either -scheme or -file, not both")
 	case name != "":
 		g, ok := schemes.Named(name)
 		if !ok {
-			return nil, topology.Spec{}, fmt.Errorf("unknown scheme %q", name)
+			return nil, topology.Spec{}, fault.Schedule{}, fmt.Errorf("unknown scheme %q", name)
 		}
-		return g, topology.Spec{}, nil
+		return g, topology.Spec{}, fault.Schedule{}, nil
 	case file == "-":
 		src, err := io.ReadAll(os.Stdin)
 		if err != nil {
-			return nil, topology.Spec{}, err
+			return nil, topology.Spec{}, fault.Schedule{}, err
 		}
-		return schemelang.ParseWithTopology(string(src))
+		return schemelang.ParseFull(string(src))
 	case file != "":
 		src, err := os.ReadFile(file)
 		if err != nil {
-			return nil, topology.Spec{}, err
+			return nil, topology.Spec{}, fault.Schedule{}, err
 		}
-		return schemelang.ParseWithTopology(string(src))
+		return schemelang.ParseFull(string(src))
 	default:
-		return nil, topology.Spec{}, fmt.Errorf("need -scheme <name> or -file <path>")
+		return nil, topology.Spec{}, fault.Schedule{}, fmt.Errorf("need -scheme <name> or -file <path>")
 	}
 }

@@ -193,6 +193,39 @@ func TestPredictFileErrors(t *testing.T) {
 	}
 }
 
+// TestPredictFaultHeaders: a file's fault: headers slow the prediction
+// down, and the flags that cannot see a dynamic fabric reject them.
+func TestPredictFaultHeaders(t *testing.T) {
+	g, _ := schemes.Named("s6")
+	body := "topology: fattree 2x4 oversub 4\n" + schemelang.Format(g)
+	healthyPath := filepath.Join(t.TempDir(), "healthy.txt")
+	faultedPath := filepath.Join(t.TempDir(), "faulted.txt")
+	if err := os.WriteFile(healthyPath, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	faulted := "fault: link 0 degrade 0.25 at 0 until 1e9\n" + body
+	if err := os.WriteFile(faultedPath, []byte(faulted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var healthy, degraded strings.Builder
+	if err := run([]string{"-model", "gige", "-file", healthyPath}, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "gige", "-file", faultedPath}, &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if healthy.String() == degraded.String() {
+		t.Error("a degraded uplink should change the prediction")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-model", "gige", "-file", faultedPath, "-static"}, &sb); err == nil {
+		t.Error("-static with fault: headers accepted")
+	}
+	if err := run([]string{"-model", "gige", "-file", faultedPath, "-compare"}, &sb); err == nil {
+		t.Error("-compare with fault: headers accepted")
+	}
+}
+
 func TestPredictIBAlias(t *testing.T) {
 	var ib, long strings.Builder
 	if err := run([]string{"-model", "ib", "-scheme", "s4"}, &ib); err != nil {

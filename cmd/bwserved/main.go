@@ -10,12 +10,18 @@
 //	bwserved                          # listen on :8080
 //	bwserved -addr 127.0.0.1:0        # ephemeral port, printed on stdout
 //	bwserved -workers 8 -cache 4096
+//	bwserved -request-timeout 5s      # 503 predictions that run longer
 //
 // Prediction endpoints: POST /v1/predict, POST /v1/predict/batch,
 // GET /v1/predict (catalog schemes), GET /v1/models, GET /v1/schemes,
 // GET /v1/healthz, GET /v1/stats. `?format=text` on /v1/predict renders
 // exactly the stdout of `bwpredict -model <m> -scheme <s>` — the CI
-// smoke step diffs the two.
+// smoke step diffs the two. Predict requests may carry a "faults"
+// block scheduling link outages, degradations and host slowdowns; the
+// prediction then runs on the dynamic fabric (see internal/server for
+// the schema). Each request gets -request-timeout (default 30s, batch
+// items individually) to queue for a worker and simulate; exceeding it
+// returns 503. A non-positive duration disables the deadline.
 //
 // Cluster endpoints: POST/GET /v1/clusters,
 // GET/DELETE /v1/clusters/{name}, POST/GET /v1/clusters/{name}/jobs,
@@ -63,10 +69,18 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 	addr := fs.String("addr", ":8080", "listen address (host:port, port 0 picks a free port)")
 	workers := fs.Int("workers", 0, "concurrent prediction workers (0 = GOMAXPROCS)")
 	cache := fs.Int("cache", 0, "response cache capacity in entries (0 = default 1024, negative disables)")
+	timeout := fs.Duration("request-timeout", server.DefaultRequestTimeout,
+		"per-request deadline for queueing and simulation (503 on exceed; <= 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s := server.New(server.Config{Workers: *workers, CacheSize: *cache})
+	// The flag surface uses <= 0 to disable; the Config field reserves 0
+	// for "default" so zero-valued configs stay safe elsewhere.
+	rt := *timeout
+	if rt <= 0 {
+		rt = -1
+	}
+	s := server.New(server.Config{Workers: *workers, CacheSize: *cache, RequestTimeout: rt})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

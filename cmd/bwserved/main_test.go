@@ -94,6 +94,25 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 }
 
+// TestRequestTimeoutFlag: the flag survives flag parsing (including the
+// disabled form) and a faulted prediction still serves under it.
+func TestRequestTimeoutFlag(t *testing.T) {
+	url, shutdown := startServed(t, "-request-timeout", "0s")
+	body := `{"name":"s4","model":"gige","faults":[{"kind":"host_slow","host":0,"factor":0.5,"at":0}]}`
+	resp, err := http.Post(url+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(out), "\"comms\"") {
+		t.Errorf("faulted predict: %d %s", resp.StatusCode, out)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out syncBuffer
 	if err := run([]string{"-addr", "not-an-address"}, &out, nil); err == nil {

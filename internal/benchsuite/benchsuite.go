@@ -10,12 +10,14 @@
 package benchsuite
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"testing"
 
 	"bwshare/internal/core"
 	"bwshare/internal/experiments"
+	"bwshare/internal/fault"
 	"bwshare/internal/fleet"
 	"bwshare/internal/graph"
 	"bwshare/internal/measure"
@@ -232,6 +234,48 @@ func churnEngineBench(jobs int) func(b *testing.B) {
 	}
 }
 
+// faultChurnBench measures the steady-state fault-churn cycle of the
+// PR-7 acceptance criterion: a fat-tree engine with a three-event fault
+// timeline (degrade, host slowdown, outage with repair) replays 8 flows
+// through Reset + drain. Every Reset rewinds the timeline and every
+// replay crosses all change points, so the 0 allocs/op bar covers the
+// whole fault path: timeline stepping, capacity override application
+// and component-scoped refill.
+func faultChurnBench(cfg netsim.CoupledConfig) func(b *testing.B) {
+	return func(b *testing.B) {
+		sched := fault.Schedule{Events: []fault.Event{
+			{Kind: fault.LinkDegrade, Target: 1, Factor: 0.5, At: 0.05, Until: 0.2},
+			{Kind: fault.HostSlow, Target: 2, Factor: 0.25, At: 0.1, Until: 0.3},
+			{Kind: fault.LinkDown, Target: 0, At: 0.15, Until: 0.25},
+		}}
+		tl := fault.Compile(sched)
+		cfg.Faults = tl.State()
+		e := netsim.NewFluidEngine("inc", cfg.FlowCap, &netsim.IncrementalAllocator{Cfg: cfg})
+		e.SetFaults(tl)
+		cycle := func() {
+			e.Reset()
+			for k := 0; k < 8; k++ {
+				e.StartFlow(graph.NodeID(2*k), graph.NodeID(2*k+1), 20e6, 0)
+			}
+			for drained := 0; drained < 8; {
+				done, _ := e.Advance(core.Inf)
+				if len(done) == 0 {
+					b.Fatal("engine stalled mid-replay")
+				}
+				drained += len(done)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			cycle()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle()
+		}
+	}
+}
+
 // Suite returns the canonical benchmark list in presentation order.
 func Suite() []Benchmark {
 	gigeCfg := gige.DefaultConfig().Coupled()
@@ -265,6 +309,9 @@ func Suite() []Benchmark {
 		{"ChurnAlloc/full/gige/8jobs", churnAllocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: gigeCfg} }, 8)},
 		{"ChurnAlloc/full/gige/64jobs", churnAllocBench(func() netsim.Allocator { return &netsim.CoupledAllocator{Cfg: gigeCfg} }, 64)},
 		{"ChurnEngine/gige/32jobs", churnEngineBench(32)},
+		// Fault churn: the dynamic-fabric replay cycle (PR 7) on the
+		// bench fat-tree at 0 allocs/op.
+		{"FaultChurn/inc/gige-fattree/8flows", faultChurnBench(gigeTopoCfg)},
 		// Whole-substrate runs: fluid engines on the S6 scheme and the
 		// 32-flow random scheme, and the packet-level Myrinet engine.
 		{"Substrate/gige/S6", engineBench(func() core.Engine { return gige.New(gige.DefaultConfig()) }, s6)},
@@ -277,13 +324,13 @@ func Suite() []Benchmark {
 		// session; session is the raw reusable-session predict.
 		{"Server/predict/hit/s6", func(b *testing.B) {
 			s := server.New(server.Config{Workers: 1, CacheSize: 16})
-			if _, err := s.Predict(s6, "gige", false, 0, topology.Spec{}); err != nil {
+			if _, err := s.Predict(context.Background(), s6, "gige", false, 0, topology.Spec{}, fault.Schedule{}); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := s.Predict(s6, "gige", false, 0, topology.Spec{})
+				r, err := s.Predict(context.Background(), s6, "gige", false, 0, topology.Spec{}, fault.Schedule{})
 				if err != nil || !r.Cached {
 					b.Fatal("expected a cache hit")
 				}
@@ -291,13 +338,13 @@ func Suite() []Benchmark {
 		}},
 		{"Server/predict/miss/s6", func(b *testing.B) {
 			s := server.New(server.Config{Workers: 1, CacheSize: -1})
-			if _, err := s.Predict(s6, "gige", false, 0, topology.Spec{}); err != nil {
+			if _, err := s.Predict(context.Background(), s6, "gige", false, 0, topology.Spec{}, fault.Schedule{}); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := s.Predict(s6, "gige", false, 0, topology.Spec{})
+				r, err := s.Predict(context.Background(), s6, "gige", false, 0, topology.Spec{}, fault.Schedule{})
 				if err != nil || r.Cached {
 					b.Fatal("expected an uncached prediction")
 				}
@@ -307,13 +354,13 @@ func Suite() []Benchmark {
 		// x fabric) must keep the hit path at 0 allocs/op.
 		{"Server/predict/hit/rand32-fattree", func(b *testing.B) {
 			s := server.New(server.Config{Workers: 1, CacheSize: 16})
-			if _, err := s.Predict(rand32, "gige", false, 0, benchTopo); err != nil {
+			if _, err := s.Predict(context.Background(), rand32, "gige", false, 0, benchTopo, fault.Schedule{}); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := s.Predict(rand32, "gige", false, 0, benchTopo)
+				r, err := s.Predict(context.Background(), rand32, "gige", false, 0, benchTopo, fault.Schedule{})
 				if err != nil || !r.Cached {
 					b.Fatal("expected a cache hit")
 				}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultSweepDeterministic: the sweep is a fixed sequence of seeded
+// predictions — two runs must render byte-identical tables (the
+// property that keeps the experiment stable for any runner worker
+// count).
+func TestFaultSweepDeterministic(t *testing.T) {
+	r1, err := FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := FaultTable(r1), FaultTable(r2); a != b {
+		t.Fatalf("two sweeps differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFaultSweepResilienceOrdering pins the experiment's headline:
+// under random uplink faults, placements that concentrate the ring on
+// few switches (block, greedy) degrade no worse on average than the
+// core-striping roundrobin, and block is strictly more resilient than
+// roundrobin.
+func TestFaultSweepResilienceOrdering(t *testing.T) {
+	r, err := FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trials != faultTrials || len(r.Rows) != len(faultStrategies) {
+		t.Fatalf("sweep shape: %d trials, %d rows", r.Trials, len(r.Rows))
+	}
+	rows := make(map[string]FaultRow, len(r.Rows))
+	for i, row := range r.Rows {
+		if row.Strategy != faultStrategies[i] {
+			t.Fatalf("row %d is %q, want %q", i, row.Strategy, faultStrategies[i])
+		}
+		if !(row.Healthy > 0) || row.MeanSlow < 1 || row.MaxSlow < row.MeanSlow {
+			t.Errorf("%s: implausible aggregates %+v", row.Strategy, row)
+		}
+		rows[row.Strategy] = row
+	}
+	block, greedy, rr := rows["block"], rows["greedy"], rows["roundrobin"]
+	if !(block.MeanSlow <= greedy.MeanSlow && greedy.MeanSlow <= rr.MeanSlow) {
+		t.Errorf("mean slowdown ordering violated: block %.3f, greedy %.3f, roundrobin %.3f",
+			block.MeanSlow, greedy.MeanSlow, rr.MeanSlow)
+	}
+	if !(block.MeanSlow < rr.MeanSlow) {
+		t.Errorf("block (%.3f) should be strictly more resilient than roundrobin (%.3f)",
+			block.MeanSlow, rr.MeanSlow)
+	}
+}
+
+// TestFaultSpecInCatalog: the sweep is addressable as experiment id
+// "fault" and renders its table through the runner-facing closure.
+func TestFaultSpecInCatalog(t *testing.T) {
+	specs, ok := SelectSpecs(Specs(DefaultOptions()), "fault")
+	if !ok || len(specs) != 1 {
+		t.Fatalf("id 'fault' selected %d specs, ok=%v", len(specs), ok)
+	}
+	out, err := specs[0].Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "EXP-FAULT") || !strings.Contains(out, "roundrobin") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}

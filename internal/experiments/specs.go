@@ -74,6 +74,13 @@ func Specs(opt Options) []Spec {
 		{ID: "churn", Title: "EXP-CHURN - multi-job consolidation churn sweep", Run: func() (string, error) {
 			return ChurnTable(ChurnSweep()) + "\n", nil
 		}},
+		{ID: "fault", Title: "EXP-FAULT - placement resilience under link faults", Run: func() (string, error) {
+			r, err := FaultSweep()
+			if err != nil {
+				return "", err
+			}
+			return FaultTable(r) + "\n", nil
+		}},
 	}
 	if opt.Sweep.N > 0 {
 		sweep := opt.Sweep

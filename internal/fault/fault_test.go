@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"bwshare/internal/randgen"
+	"bwshare/internal/topology"
+)
+
+func fattree(switches, hosts int) topology.Spec {
+	return topology.Spec{Kind: topology.FatTree, Switches: switches, HostsPerSwitch: hosts, Oversub: 2}
+}
+
+func TestEventStringParseRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: LinkDown, Target: 2, At: 0.05, Until: 0.12},
+		{Kind: LinkDown, Target: 0, At: 0},
+		{Kind: LinkDegrade, Target: 1, Factor: 0.5, At: 0.1},
+		{Kind: LinkDegrade, Target: 3, Factor: 0, At: -1, Until: 2},
+		{Kind: HostSlow, Target: 7, Factor: 0.25, At: 1.5, Until: 3.25},
+	}
+	for _, e := range events {
+		got, err := ParseEvent(e.String())
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", e.String(), err)
+		}
+		if got != e {
+			t.Errorf("round trip %q: got %+v want %+v", e.String(), got, e)
+		}
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"", "empty"},
+		{"link 0 down at 1 until 1", "precedes"},
+		{"link 0 down at 2 until 1", "precedes"},
+		{"host 3 slow 0.5 at 5 until 0", "reserved"},
+		{"link -1 down at 0", "invalid link index"},
+		{"link 0 explode at 0", "unknown link fault"},
+		{"switch 0 down at 0", "unknown subject"},
+		{"link 0 degrade 1.5 at 0", "factor"},
+		{"host 0 slow NaN at 0", "factor"},
+		{"link 0 down", "expected 'at"},
+		{"link 0 down at Inf", "finite"},
+		{"link 0 down at 0 whenever 3", "expected 'until"},
+		{"link 0 down 0.5 at 0", "expected 'at"},
+	}
+	for _, c := range cases {
+		if _, err := ParseEvent(c.src); err == nil {
+			t.Errorf("ParseEvent(%q): expected error", c.src)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseEvent(%q) error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestValidateAgainstTopology(t *testing.T) {
+	ft := fattree(4, 4) // hosts 0..15
+	ok := Schedule{Events: []Event{
+		{Kind: LinkDown, Target: 3, At: 1},
+		{Kind: HostSlow, Target: 15, Factor: 0.5, At: 0},
+	}}
+	if err := ok.Validate(ft); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		topo topology.Spec
+		s    Schedule
+		sub  string
+	}{
+		{"link on crossbar", topology.Spec{}, Schedule{Events: []Event{{Kind: LinkDown, At: 1}}}, "no uplinks"},
+		{"missing switch", ft, Schedule{Events: []Event{{Kind: LinkDown, Target: 4, At: 1}}}, "switch 4 does not exist"},
+		{"missing host", ft, Schedule{Events: []Event{{Kind: HostSlow, Target: 16, Factor: 0.5, At: 1}}}, "host 16 does not exist"},
+		{"repair before failure", ft, Schedule{Events: []Event{{Kind: LinkDown, Target: 0, At: 2, Until: 1}}}, "precedes"},
+		{"factor out of range", ft, Schedule{Events: []Event{{Kind: LinkDegrade, Target: 0, Factor: 1.5, At: 1}}}, "factor"},
+	}
+	for _, c := range cases {
+		err := c.s.Validate(c.topo)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.sub)
+		}
+	}
+	// Crossbar hosts are unbounded: any non-negative host id is fine.
+	hostOnly := Schedule{Events: []Event{{Kind: HostSlow, Target: 1 << 20, Factor: 0.5, At: 1}}}
+	if err := hostOnly.Validate(topology.Spec{}); err != nil {
+		t.Fatalf("crossbar host fault rejected: %v", err)
+	}
+}
+
+func TestCompileFoldsPreZeroFaults(t *testing.T) {
+	tl := Compile(Schedule{Events: []Event{
+		{Kind: HostSlow, Target: 1, Factor: 0.5, At: -3},               // active before the replay starts
+		{Kind: LinkDegrade, Target: 0, Factor: 0.25, At: -1, Until: 2}, // repairs mid-replay
+	}})
+	st := tl.State()
+	if got := st.HostFactor(1); got != 0.5 {
+		t.Fatalf("pre-zero host fault not folded: factor %g", got)
+	}
+	if got := st.LinkFactor(0); got != 0.25 {
+		t.Fatalf("pre-zero link fault not folded: factor %g", got)
+	}
+	if tl.Steps() != 1 {
+		t.Fatalf("want exactly the repair step, got %d steps", tl.Steps())
+	}
+	at, ok := tl.Next()
+	if !ok || at != 2 {
+		t.Fatalf("next change: got (%g, %v) want (2, true)", at, ok)
+	}
+	changed := tl.Step()
+	if len(changed) != 1 || changed[0] != (Target{TargetLink, 0}) {
+		t.Fatalf("repair step changed %v", changed)
+	}
+	if got := st.LinkFactor(0); got != 1 {
+		t.Fatalf("link not repaired: factor %g", got)
+	}
+	if got := st.HostFactor(1); got != 0.5 {
+		t.Fatalf("permanent host fault lost on step: factor %g", got)
+	}
+}
+
+func TestCompileDoubleFailureOverlap(t *testing.T) {
+	// Two downs of the same link, overlapping: the first repair (t=10)
+	// must NOT revive the link; only the last (t=15) does.
+	tl := Compile(Schedule{Events: []Event{
+		{Kind: LinkDown, Target: 0, At: 1, Until: 10},
+		{Kind: LinkDown, Target: 0, At: 5, Until: 15},
+	}})
+	if tl.Steps() != 2 {
+		t.Fatalf("want 2 visible change points (down at 1, up at 15), got %d", tl.Steps())
+	}
+	if at, _ := tl.Next(); at != 1 {
+		t.Fatalf("first change at %g, want 1", at)
+	}
+	tl.Step()
+	if got := tl.State().LinkFactor(0); got != 0 {
+		t.Fatalf("link factor after failure: %g", got)
+	}
+	if at, _ := tl.Next(); at != 15 {
+		t.Fatalf("second change at %g, want 15 (t=5 and t=10 are invisible)", at)
+	}
+	tl.Step()
+	if got := tl.State().LinkFactor(0); got != 1 {
+		t.Fatalf("link factor after last repair: %g", got)
+	}
+	if _, ok := tl.Next(); ok {
+		t.Fatal("timeline should be exhausted")
+	}
+}
+
+func TestCompileOverlapMultiplies(t *testing.T) {
+	tl := Compile(Schedule{Events: []Event{
+		{Kind: LinkDegrade, Target: 0, Factor: 0.5, At: 1, Until: 4},
+		{Kind: LinkDegrade, Target: 0, Factor: 0.5, At: 2, Until: 3},
+	}})
+	want := []struct{ at, factor float64 }{{1, 0.5}, {2, 0.25}, {3, 0.5}, {4, 1}}
+	if tl.Steps() != len(want) {
+		t.Fatalf("steps = %d, want %d", tl.Steps(), len(want))
+	}
+	for _, w := range want {
+		at, _ := tl.Next()
+		if at != w.at {
+			t.Fatalf("change at %g, want %g", at, w.at)
+		}
+		tl.Step()
+		if got := tl.State().LinkFactor(0); got != w.factor {
+			t.Fatalf("t=%g: factor %g, want %g", w.at, got, w.factor)
+		}
+	}
+}
+
+func TestNilStateReadsHealthy(t *testing.T) {
+	var st *State
+	if st.LinkFactor(3) != 1 || st.HostFactor(0) != 1 {
+		t.Fatal("nil state must read as healthy")
+	}
+	tl := Compile(Schedule{})
+	if tl.Steps() != 0 {
+		t.Fatalf("empty schedule compiled to %d steps", tl.Steps())
+	}
+	if tl.State().LinkFactor(0) != 1 || tl.State().HostFactor(9) != 1 {
+		t.Fatal("empty timeline state must read as healthy")
+	}
+}
+
+func TestRewindStepZeroAllocs(t *testing.T) {
+	tl := Compile(Schedule{Events: []Event{
+		{Kind: LinkDown, Target: 1, At: 1, Until: 2},
+		{Kind: HostSlow, Target: 3, Factor: 0.5, At: 1.5},
+	}})
+	allocs := testing.AllocsPerRun(100, func() {
+		tl.Rewind()
+		for {
+			if _, ok := tl.Next(); !ok {
+				break
+			}
+			tl.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("rewind/step cycle allocates %g/op, want 0", allocs)
+	}
+}
+
+func TestHashEqualClone(t *testing.T) {
+	a := Schedule{Events: []Event{{Kind: LinkDown, Target: 1, At: 1, Until: 2}}}
+	b := a.Clone()
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Fatal("clone must compare and hash equal")
+	}
+	b.Events[0].Until = 3
+	if a.Equal(b) || a.Hash() == b.Hash() {
+		t.Fatal("mutated clone must differ (deep copy + hash sensitivity)")
+	}
+	if (Schedule{}).Hash() != 0 {
+		t.Fatal("empty schedule must hash to 0 (healthy cache keys unchanged)")
+	}
+	if a.Equal(Schedule{}) {
+		t.Fatal("non-empty schedule equal to empty")
+	}
+	if got := a.Canonical(); got != "link 1 down at 1 until 2\n" {
+		t.Fatalf("canonical form %q", got)
+	}
+}
+
+func TestRandomLinksDeterministicAndValid(t *testing.T) {
+	topo := fattree(4, 8)
+	a := RandomLinks(randgen.NewRand(42), topo.Switches, 6, 0.5)
+	b := RandomLinks(randgen.NewRand(42), topo.Switches, 6, 0.5)
+	if !a.Equal(b) {
+		t.Fatal("equal seeds must yield identical schedules")
+	}
+	if a.Empty() || len(a.Events) != 6 {
+		t.Fatalf("want 6 events, got %d", len(a.Events))
+	}
+	if err := a.Validate(topo); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	c := RandomLinks(randgen.NewRand(43), topo.Switches, 6, 0.5)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

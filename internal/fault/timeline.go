@@ -1,0 +1,196 @@
+package fault
+
+import "sort"
+
+// TargetKind distinguishes the two fabric resources a fault can touch.
+type TargetKind uint8
+
+// Target kinds.
+const (
+	// TargetLink is an edge switch's uplink (both directions).
+	TargetLink TargetKind = iota
+	// TargetHost is one host's NIC (send and receive).
+	TargetHost
+)
+
+// Target names one fabric resource whose capacity factor changed.
+type Target struct {
+	Kind TargetKind
+	ID   int
+}
+
+// State is the mutable capacity overlay the allocators read: one factor
+// per edge switch uplink and one per host NIC, each in [0, 1]. A nil
+// State, or any index beyond the tracked range, reads as the healthy
+// factor 1 — multiplying a capacity by exactly 1.0 is IEEE-exact, so the
+// no-fault paths stay bit-identical with unconditional multiplies.
+//
+// A State is owned and mutated in place by its Timeline; allocators
+// holding the pointer observe every Step without re-wiring.
+type State struct {
+	link []float64
+	host []float64
+}
+
+// LinkFactor returns the capacity factor of switch sw's uplink.
+func (s *State) LinkFactor(sw int) float64 {
+	if s == nil || sw < 0 || sw >= len(s.link) {
+		return 1
+	}
+	return s.link[sw]
+}
+
+// HostFactor returns the capacity factor of host h's NIC.
+func (s *State) HostFactor(h int) float64 {
+	if s == nil || h < 0 || h >= len(s.host) {
+		return 1
+	}
+	return s.host[h]
+}
+
+// snapshot is one precompiled factor assignment.
+type snapshot struct {
+	link []float64
+	host []float64
+}
+
+// step is one change point of the compiled timeline.
+type step struct {
+	at      float64
+	snap    snapshot
+	changed []Target
+}
+
+// Timeline is a Schedule compiled against nothing but itself: a sorted
+// sequence of capacity snapshots, one per distinct change time after
+// t=0, plus the initial state (faults at or before t=0 folded in).
+//
+// Compilation resolves overlaps by multiplying the factors of every
+// event active at each instant, so a double failure of the same link
+// stays down until the *last* repair. Each step carries the exact set
+// of targets whose factor changed, which the incremental allocator uses
+// to dirty only the affected constraint components.
+//
+// Rewind and Step mutate the shared State in place and allocate
+// nothing, so a rewind/step/allocate cycle runs at 0 allocs/op.
+type Timeline struct {
+	state  State
+	init   snapshot
+	steps  []step
+	cursor int
+}
+
+// Compile builds the timeline for a schedule. The schedule must already
+// be validated; Compile only sizes the factor tables off the largest
+// target index it sees. Compiling the empty schedule yields a timeline
+// with no steps and all-healthy state.
+func Compile(sched Schedule) *Timeline {
+	nLink, nHost := 0, 0
+	for _, e := range sched.Events {
+		switch e.Kind {
+		case LinkDown, LinkDegrade:
+			if e.Target >= nLink {
+				nLink = e.Target + 1
+			}
+		case HostSlow:
+			if e.Target >= nHost {
+				nHost = e.Target + 1
+			}
+		}
+	}
+	at := func(t float64) snapshot {
+		sn := snapshot{link: make([]float64, nLink), host: make([]float64, nHost)}
+		for i := range sn.link {
+			sn.link[i] = 1
+		}
+		for i := range sn.host {
+			sn.host[i] = 1
+		}
+		for _, e := range sched.Events {
+			if !e.activeAt(t) {
+				continue
+			}
+			f := e.Factor // LinkDown validates to 0
+			switch e.Kind {
+			case LinkDown, LinkDegrade:
+				sn.link[e.Target] *= f
+			case HostSlow:
+				sn.host[e.Target] *= f
+			}
+		}
+		return sn
+	}
+	times := make([]float64, 0, 2*len(sched.Events))
+	seen := make(map[float64]bool)
+	add := func(t float64) {
+		if t > 0 && !seen[t] {
+			seen[t] = true
+			times = append(times, t)
+		}
+	}
+	for _, e := range sched.Events {
+		add(e.At)
+		add(e.Until)
+	}
+	sort.Float64s(times)
+
+	tl := &Timeline{init: at(0)}
+	prev := tl.init
+	for _, t := range times {
+		sn := at(t)
+		var changed []Target
+		for i := range sn.link {
+			if sn.link[i] != prev.link[i] {
+				changed = append(changed, Target{TargetLink, i})
+			}
+		}
+		for i := range sn.host {
+			if sn.host[i] != prev.host[i] {
+				changed = append(changed, Target{TargetHost, i})
+			}
+		}
+		if len(changed) == 0 {
+			continue // e.g. a repair masked by an overlapping failure
+		}
+		tl.steps = append(tl.steps, step{at: t, snap: sn, changed: changed})
+		prev = sn
+	}
+	tl.state = State{link: make([]float64, nLink), host: make([]float64, nHost)}
+	tl.Rewind()
+	return tl
+}
+
+// State returns the mutable overlay driven by this timeline. Store the
+// pointer once (e.g. in CoupledConfig.Faults); every Rewind and Step
+// updates it in place.
+func (tl *Timeline) State() *State { return &tl.state }
+
+// Steps returns the number of change points after t=0.
+func (tl *Timeline) Steps() int { return len(tl.steps) }
+
+// Rewind resets the state to t=0 (faults at or before zero applied) and
+// the cursor to the first change point.
+func (tl *Timeline) Rewind() {
+	copy(tl.state.link, tl.init.link)
+	copy(tl.state.host, tl.init.host)
+	tl.cursor = 0
+}
+
+// Next returns the time of the next change point, if any.
+func (tl *Timeline) Next() (float64, bool) {
+	if tl.cursor >= len(tl.steps) {
+		return 0, false
+	}
+	return tl.steps[tl.cursor].at, true
+}
+
+// Step applies the next change point to the state and returns the
+// targets whose factor changed. The returned slice is owned by the
+// timeline; read it before the next Compile, don't retain it.
+func (tl *Timeline) Step() []Target {
+	s := &tl.steps[tl.cursor]
+	copy(tl.state.link, s.snap.link)
+	copy(tl.state.host, s.snap.host)
+	tl.cursor++
+	return s.changed
+}

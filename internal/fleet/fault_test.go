@@ -1,0 +1,160 @@
+// Degraded-fabric clusters and the placement/delete race.
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"bwshare/internal/fault"
+)
+
+// TestClusterWithFaultsScoresDegraded: a cluster whose fat-tree uplink 0
+// is permanently degraded must rank placements differently from a
+// healthy twin — the what-if simulation sees the sick link — and its
+// Info must render the schedule.
+func TestClusterWithFaultsScoresDegraded(t *testing.T) {
+	sched := fault.Schedule{Events: []fault.Event{
+		{Kind: fault.LinkDegrade, Target: 0, Factor: 0.25, At: 0, Until: 1e9},
+	}}
+	m := NewManager()
+	if _, err := m.Create(Spec{Name: "healthy", Topo: fatTree()}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Create(Spec{Name: "degraded", Topo: fatTree(), Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Faults) != 1 || info.Faults[0] != sched.Events[0].String() {
+		t.Errorf("Info.Faults = %q, want [%q]", info.Faults, sched.Events[0])
+	}
+	// Two cross-switch flows: on the healthy fabric they share the core
+	// comfortably; behind a quarter-speed uplink every candidate that
+	// crosses switch 0 pays 4x.
+	g := pairs(t, [2]int{0, 1}, [2]int{2, 3})
+	healthy, err := m.Placements("healthy", g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := m.Placements("degraded", g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := false
+	for i := range degraded {
+		if degraded[i].JobTime > healthy[i].JobTime {
+			worse = true
+		}
+		if degraded[i].JobTime < healthy[i].JobTime {
+			t.Errorf("candidate %d faster on the degraded fabric: %g < %g",
+				i, degraded[i].JobTime, healthy[i].JobTime)
+		}
+	}
+	if !worse {
+		t.Error("degrading an uplink changed no candidate's score")
+	}
+}
+
+// TestClusterFaultValidation: impossible schedules are rejected at
+// Create, including host faults beyond a crossbar cluster's explicit
+// host count (which the topology alone cannot bound).
+func TestClusterFaultValidation(t *testing.T) {
+	m := NewManager()
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"link fault on crossbar",
+			Spec{Name: "a", Hosts: 8, Faults: fault.Schedule{Events: []fault.Event{
+				{Kind: fault.LinkDown, Target: 0, At: 1, Until: 2}}}},
+			"no uplinks"},
+		{"host beyond cluster",
+			Spec{Name: "b", Hosts: 8, Faults: fault.Schedule{Events: []fault.Event{
+				{Kind: fault.HostSlow, Target: 8, Factor: 0.5, At: 1}}}},
+			"host 8 does not exist"},
+		{"permanent zero",
+			Spec{Name: "c", Topo: fatTree(), Faults: fault.Schedule{Events: []fault.Event{
+				{Kind: fault.LinkDown, Target: 0, At: 1}}}},
+			"permanent zero-capacity"},
+	}
+	for _, c := range cases {
+		_, err := m.Create(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v does not mention %q", c.name, err, c.want)
+		}
+	}
+	if m.Len() != 0 {
+		t.Errorf("%d clusters created from invalid specs", m.Len())
+	}
+}
+
+// TestDeleteClusterRacesPlacements: a Delete landing inside the
+// placement window — after scoring, before the result is returned —
+// must surface ErrNotFound, never a ranked answer for a cluster that no
+// longer exists. The test hook widens the window deterministically.
+func TestDeleteClusterRacesPlacements(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Create(Spec{Name: "c", Topo: fatTree()}); err != nil {
+		t.Fatal(err)
+	}
+	placementsScoredHook = func() {
+		if err := m.Delete("c"); err != nil {
+			t.Errorf("delete during placement window: %v", err)
+		}
+	}
+	defer func() { placementsScoredHook = nil }()
+	cands, err := m.Placements("c", pairs(t, [2]int{0, 1}), 0)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("placement on mid-delete cluster returned %d candidates, err %v; want ErrNotFound", len(cands), err)
+	}
+
+	// Delete-and-recreate under the same name is the same staleness: the
+	// ranking was computed against the old cluster's fabric and jobs.
+	if _, err := m.Create(Spec{Name: "c", Topo: fatTree()}); err != nil {
+		t.Fatal(err)
+	}
+	placementsScoredHook = func() {
+		if err := m.Delete("c"); err != nil {
+			t.Errorf("delete during placement window: %v", err)
+		}
+		if _, err := m.Create(Spec{Name: "c", Hosts: 8}); err != nil {
+			t.Errorf("recreate during placement window: %v", err)
+		}
+	}
+	if _, err := m.Placements("c", pairs(t, [2]int{0, 1}), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("placement spanning delete+recreate returned err %v; want ErrNotFound", err)
+	}
+	placementsScoredHook = nil
+
+	// Undisturbed, the same call succeeds.
+	if _, err := m.Placements("c", pairs(t, [2]int{0, 1}), 0); err != nil {
+		t.Fatalf("placement on the recreated cluster: %v", err)
+	}
+}
+
+// TestDeleteClusterRacesPlacementsNondeterministic: the free-running
+// version of the race, for the race detector's benefit.
+func TestDeleteClusterRacesPlacementsNondeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		m := NewManager()
+		if _, err := m.Create(Spec{Name: "c", Hosts: 8}); err != nil {
+			t.Fatal(err)
+		}
+		g := pairs(t, [2]int{0, 1})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			m.Delete("c")
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := m.Placements("c", g, 0); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Errorf("racing placement: %v", err)
+			}
+		}()
+		wg.Wait()
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"bwshare/internal/core"
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/predict"
 	"bwshare/internal/topology"
@@ -85,6 +86,12 @@ type Spec struct {
 	Model string
 	// RefRate overrides the substrate reference rate (0 = default).
 	RefRate float64
+	// Faults degrades the cluster's fabric for its whole lifetime: every
+	// admission and placement what-if is scored under this schedule, so
+	// the ranking reflects how each candidate weathers the degradation.
+	// Empty means healthy. Permanent zero-capacity faults are rejected
+	// (no job behind a dead link would ever finish).
+	Faults fault.Schedule
 }
 
 // Manager owns the named clusters. Create one with NewManager; it is
@@ -112,6 +119,7 @@ type Cluster struct {
 	hosts   int
 	model   string // canonical model name
 	ref     float64
+	faults  fault.Schedule
 	sess    *predict.Session
 	jobs    map[string]*job
 	order   []string                // job admission order
@@ -136,7 +144,10 @@ type Info struct {
 	RefRate   float64
 	Hosts     int
 	FreeHosts int
-	Jobs      []JobInfo
+	// Faults renders the cluster's fault schedule, one event per entry
+	// in the schemelang `fault:` payload grammar; nil means healthy.
+	Faults []string
+	Jobs   []JobInfo
 }
 
 // JobInfo is a snapshot of one resident job.
@@ -205,13 +216,28 @@ func (m *Manager) Create(spec Spec) (Info, error) {
 	if ref == 0 {
 		ref = sub.RefRate()
 	}
+	sess := predict.NewSessionWithTopology(model, ref, spec.Topo)
+	if !spec.Faults.Empty() {
+		// A crossbar fabric reports no host bound of its own, but the
+		// cluster has one: a fault on a host outside it would silently
+		// never matter.
+		for _, e := range spec.Faults.Events {
+			if e.Kind == fault.HostSlow && e.Target >= hosts {
+				return Info{}, fmt.Errorf("fleet: fault (%s): host %d does not exist (%d hosts)", e, e.Target, hosts)
+			}
+		}
+		if sess, err = predict.NewSessionWithFaults(model, ref, spec.Topo, spec.Faults); err != nil {
+			return Info{}, fmt.Errorf("fleet: %v", err)
+		}
+	}
 	c := &Cluster{
 		name:    spec.Name,
 		topo:    spec.Topo,
 		hosts:   hosts,
 		model:   name,
 		ref:     ref,
-		sess:    predict.NewSessionWithTopology(model, ref, spec.Topo),
+		faults:  spec.Faults.Clone(),
+		sess:    sess,
 		jobs:    make(map[string]*job),
 		hostJob: make(map[graph.NodeID]string),
 	}
@@ -314,6 +340,12 @@ func (c *Cluster) snapshotLocked() Info {
 		Hosts:     c.hosts,
 		FreeHosts: c.hosts - len(c.hostJob),
 		Jobs:      make([]JobInfo, 0, len(c.order)),
+	}
+	if !c.faults.Empty() {
+		info.Faults = make([]string, len(c.faults.Events))
+		for i, e := range c.faults.Events {
+			info.Faults[i] = e.String()
+		}
 	}
 	for _, name := range c.order {
 		info.Jobs = append(info.Jobs, c.jobs[name].info())
@@ -434,12 +466,27 @@ func (m *Manager) DeleteJob(cluster, jobName string) error {
 	return nil
 }
 
+// placementsScoredHook, when non-nil, runs after Placements releases
+// the cluster lock and before it confirms the cluster still exists.
+// Test-only: it opens the scoring/confirmation window deterministically
+// so the delete race is exercised without timing luck.
+var placementsScoredHook func()
+
 // Placements enumerates and scores candidate placements for a scheme
 // without admitting it. seeds adds that many extra seeded-random
 // candidates beyond block, roundrobin and greedy (clamped to
 // [0, MaxSeeds]). Candidates are returned best first: ascending
 // predicted completion time of the new job, ties broken by strategy
 // name.
+//
+// Scoring runs under the cluster lock, but Delete removes the cluster
+// from the manager's map *before* it can mark the cluster dead (it
+// blocks on that same lock), so an in-flight enumeration could finish
+// against a cluster that no longer resolves by name. The result is
+// therefore confirmed after scoring: if the name no longer maps to this
+// same cluster — deleted, or deleted and recreated with a different
+// fabric — the ranking is for a dead cluster and the caller gets
+// ErrNotFound, never a plausible-looking answer.
 func (m *Manager) Placements(cluster string, scheme *graph.Graph, seeds int) ([]Candidate, error) {
 	if scheme == nil || scheme.Len() == 0 {
 		return nil, fmt.Errorf("fleet: placement needs a scheme with at least one communication")
@@ -449,11 +496,25 @@ func (m *Manager) Placements(cluster string, scheme *graph.Graph, seeds int) ([]
 		return nil, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.deleted {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("fleet: cluster %q: %w", cluster, ErrNotFound)
 	}
-	return c.candidatesLocked(scheme, seeds)
+	cands, err := c.candidatesLocked(scheme, seeds)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if placementsScoredHook != nil {
+		placementsScoredHook()
+	}
+	m.mu.RLock()
+	alive := m.clusters[cluster] == c
+	m.mu.RUnlock()
+	if !alive {
+		return nil, fmt.Errorf("fleet: cluster %q deleted during placement: %w", cluster, ErrNotFound)
+	}
+	return cands, nil
 }
 
 // sortCandidates orders candidates best first, deterministically.

@@ -195,6 +195,7 @@ type fillScratch struct {
 
 	effSend []float64 // per sender slot: coupling-adjusted capacity
 	inflow  []float64 // per receiver slot: base inflow
+	rxCap   []float64 // per receiver slot: fault-scaled receive capacity
 }
 
 func (s *fillScratch) begin() {
@@ -205,6 +206,7 @@ func (s *fillScratch) begin() {
 	s.d.reset()
 	s.effSend = s.effSend[:0]
 	s.inflow = s.inflow[:0]
+	s.rxCap = s.rxCap[:0]
 }
 
 // maxPooledScratchLen bounds what fillPool retains: a scratch whose
@@ -219,6 +221,7 @@ func (s *fillScratch) oversized() bool {
 	return cap(s.d.sidx) > maxPooledScratchLen ||
 		cap(s.effSend) > maxPooledScratchLen ||
 		cap(s.inflow) > maxPooledScratchLen ||
+		cap(s.rxCap) > maxPooledScratchLen ||
 		len(s.snd.slot) > maxPooledScratchLen ||
 		len(s.rcv.slot) > maxPooledScratchLen ||
 		len(s.up.slot) > maxPooledScratchLen ||

@@ -1,5 +1,7 @@
 package netsim
 
+import "bwshare/internal/fault"
+
 // Incremental component-scoped allocation.
 //
 // The coupled allocation (CoupledAllocator) decomposes over the
@@ -128,6 +130,7 @@ type IncrementalAllocator struct {
 
 var _ Allocator = (*IncrementalAllocator)(nil)
 var _ ActiveSetObserver = (*IncrementalAllocator)(nil)
+var _ FaultObserver = (*IncrementalAllocator)(nil)
 
 // claim marks the allocator as owned by an engine (see claimable).
 func (a *IncrementalAllocator) claim() bool {
@@ -216,6 +219,41 @@ func (a *IncrementalAllocator) FlowFinished(f *Flow) {
 	a.dirty[a.uf.find(a.sndSlot[f.Src])] = true
 	a.removals++
 	a.nlive--
+}
+
+// FaultTargetsChanged implements FaultObserver: the fabric resources
+// whose capacity factor just changed mark their constraint components
+// dirty, so the next Allocate refills exactly the flows whose rates the
+// fault can move — everything sharing a component with the degraded
+// link or NIC. A target no active flow has ever touched has no slot and
+// is skipped; a slot whose component holds no live flows takes a
+// harmless stale mark (pass 1 finds no matching flows). Correctness
+// rests on the same decomposition argument as the rest of this file:
+// a capacity change at one slot can only move rates inside that slot's
+// component, because base demand, coupling and the water-fill read
+// state confined to the component.
+func (a *IncrementalAllocator) FaultTargetsChanged(targets []fault.Target) {
+	if !a.tracking {
+		return
+	}
+	for _, t := range targets {
+		switch t.Kind {
+		case fault.TargetLink:
+			a.markSlot(a.upSlot, t.ID)
+			a.markSlot(a.dnSlot, t.ID)
+		case fault.TargetHost:
+			a.markSlot(a.sndSlot, t.ID)
+			a.markSlot(a.rcvSlot, t.ID)
+		}
+	}
+}
+
+// markSlot dirties the component of the slot interned for id, if any.
+func (a *IncrementalAllocator) markSlot(tbl []int32, id int) {
+	if id < 0 || id >= len(tbl) || tbl[id] < 0 {
+		return
+	}
+	a.dirty[a.uf.find(tbl[id])] = true
 }
 
 // ActiveSetReset implements ActiveSetObserver: the engine is

@@ -12,6 +12,7 @@
 package infiniband
 
 import (
+	"bwshare/internal/fault"
 	"bwshare/internal/netsim"
 	"bwshare/internal/topology"
 )
@@ -38,6 +39,11 @@ type Config struct {
 	// substrate); a multi-switch fabric adds shared uplink capacity
 	// constraints derived from the single-flow reference rate.
 	Topo topology.Spec
+	// Faults schedules link failures/degradations and host NIC
+	// slowdowns applied mid-replay (see internal/fault). The zero value
+	// is the static healthy fabric, bit-identical to the pre-fault
+	// engine. The schedule must validate against Topo.
+	Faults fault.Schedule
 }
 
 // DefaultConfig returns the calibrated configuration reproducing the
@@ -67,6 +73,17 @@ func New(cfg Config) *netsim.FluidEngine {
 	if cfg.LineRate <= 0 || cfg.BetaIB <= 0 || cfg.BetaIB > 1 || cfg.RxFactor <= 0 {
 		panic("infiniband: invalid config")
 	}
-	alloc := &netsim.IncrementalAllocator{Cfg: cfg.Coupled()}
-	return netsim.NewFluidEngine("infiniband", cfg.BetaIB*cfg.LineRate, alloc)
+	ccfg := cfg.Coupled()
+	var tl *fault.Timeline
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(cfg.Topo); err != nil {
+			panic("infiniband: " + err.Error())
+		}
+		tl = fault.Compile(cfg.Faults)
+		ccfg.Faults = tl.State()
+	}
+	alloc := &netsim.IncrementalAllocator{Cfg: ccfg}
+	e := netsim.NewFluidEngine("infiniband", cfg.BetaIB*cfg.LineRate, alloc)
+	e.SetFaults(tl)
+	return e
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/topology"
 )
@@ -107,6 +108,16 @@ type CoupledConfig struct {
 	// measurements and model predictions place the fabric on one scale.
 	// Sender coupling itself stays a NIC-level mechanism.
 	Topo topology.Spec
+	// Faults is the mutable degraded-capacity overlay, or nil for a
+	// healthy fabric. Host factors scale the sender line rate and the
+	// receive capacity; link factors scale the uplink/downlink
+	// capacities of the fabric. The State is owned by a fault.Timeline
+	// and mutated in place as the replay crosses fault change points, so
+	// the allocator observes every step through this one pointer. A nil
+	// State reads as factor 1 everywhere, and multiplying by exactly 1.0
+	// is IEEE-exact, so the healthy path stays bit-identical to the
+	// pre-fault code.
+	Faults *fault.State
 }
 
 // CoupledAllocator implements the two-phase rate allocation shared by the
@@ -245,13 +256,15 @@ func coupledDenseAllocate(cfg CoupledConfig, flows []*Flow, sc *fillScratch, liv
 
 	// Phase 1a: intern endpoints and establish per-sender/per-receiver
 	// active counts — incrementally maintained ones when an engine feeds
-	// us active-set changes, otherwise recounted from the slice.
+	// us active-set changes, otherwise recounted from the slice. NIC
+	// capacities carry the fault overlay's per-host factor (1 on a
+	// healthy fabric, which multiplies exactly).
 	tracked := live != nil && live.tracking
 	for _, f := range flows {
 		si, fresh := sc.snd.intern(int(f.Src))
 		if fresh {
 			d.sndCount = append(d.sndCount, 0)
-			sc.effSend = append(sc.effSend, cfg.LineRate)
+			sc.effSend = append(sc.effSend, cfg.LineRate*cfg.Faults.HostFactor(int(f.Src)))
 			if tracked {
 				d.sndCount[si] = live.countOut(f.Src)
 			}
@@ -264,6 +277,7 @@ func coupledDenseAllocate(cfg CoupledConfig, flows []*Flow, sc *fillScratch, liv
 		if fresh {
 			d.rcvCount = append(d.rcvCount, 0)
 			sc.inflow = append(sc.inflow, 0)
+			sc.rxCap = append(sc.rxCap, cfg.RxCap*cfg.Faults.HostFactor(int(f.Dst)))
 			if tracked {
 				d.rcvCount[ri] = live.countIn(f.Dst)
 			}
@@ -289,21 +303,30 @@ func coupledDenseAllocate(cfg CoupledConfig, flows []*Flow, sc *fillScratch, liv
 		}
 	}
 
-	// Phase 1b: base demand per sender, accumulated per receiver.
+	// Phase 1b: base demand per sender, accumulated per receiver. The
+	// sender line rate is the fault-scaled one captured in effSend (phase
+	// 2 has not reduced it yet).
 	for i := range flows {
-		b := math.Min(cfg.FlowCap, cfg.LineRate/float64(d.sndCount[d.sidx[i]]))
+		b := math.Min(cfg.FlowCap, sc.effSend[d.sidx[i]]/float64(d.sndCount[d.sidx[i]]))
 		sc.inflow[d.ridx[i]] += b
 	}
 
-	// Phase 2: receiver oversubscription and sender coupling.
+	// Phase 2: receiver oversubscription and sender coupling. rho is
+	// inflow over the fault-scaled receive capacity; a zero-capacity
+	// receiver with zero inflow yields rho = NaN, and NaN > threshold is
+	// false, so degraded-to-zero NICs never engage coupling spuriously.
+	// The coupling reduction scales off the sender's own degraded line
+	// rate, recomputed here because effSend may already hold an earlier
+	// flow's reduction.
 	threshold := cfg.CouplingThreshold
 	if threshold < 1 {
 		threshold = 1
 	}
 	for i := range flows {
-		rho := sc.inflow[d.ridx[i]] / cfg.RxCap
+		rho := sc.inflow[d.ridx[i]] / sc.rxCap[d.ridx[i]]
 		if rho > threshold && cfg.Coupling > 0 {
-			reduced := cfg.LineRate * (1 - cfg.Coupling*(1-1/rho))
+			sline := cfg.LineRate * cfg.Faults.HostFactor(int(flows[i].Src))
+			reduced := sline * (1 - cfg.Coupling*(1-1/rho))
 			if si := d.sidx[i]; reduced < sc.effSend[si] {
 				sc.effSend[si] = reduced
 			}
@@ -318,14 +341,14 @@ func coupledDenseAllocate(cfg CoupledConfig, flows []*Flow, sc *fillScratch, liv
 		d.sndLeft = append(d.sndLeft, v)
 		d.sndOrig = append(d.sndOrig, v)
 	}
-	for range sc.inflow {
-		d.rcvLeft = append(d.rcvLeft, cfg.RxCap)
-		d.rcvOrig = append(d.rcvOrig, cfg.RxCap)
+	for _, v := range sc.rxCap {
+		d.rcvLeft = append(d.rcvLeft, v)
+		d.rcvOrig = append(d.rcvOrig, v)
 	}
 	if cfg.Topo.Trivial() {
 		d.run(flows, cfg.FlowCap)
 	} else {
-		prepTopoLinks(sc, flows, cfg.Topo, cfg.Topo.UplinkCap(cfg.FlowCap))
+		prepTopoLinks(sc, flows, cfg.Topo, cfg.Topo.UplinkCap(cfg.FlowCap), cfg.Faults)
 		d.runTopo(flows, cfg.FlowCap)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"bwshare/internal/core"
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 )
 
@@ -56,6 +57,17 @@ type ActiveSetObserver interface {
 	ActiveSetReset()
 }
 
+// FaultObserver is optionally implemented by Allocators that maintain
+// incremental state keyed on fabric capacities. When the engine crosses
+// a fault change point (SetFaults), it first mutates the shared
+// fault.State, then calls FaultTargetsChanged with exactly the links
+// and hosts whose factor changed, before the next Allocate. Allocators
+// without the interface simply recompute everything from the updated
+// State on the next Allocate.
+type FaultObserver interface {
+	FaultTargetsChanged(targets []fault.Target)
+}
+
 // FluidEngine is a deterministic fluid-flow network simulator.
 type FluidEngine struct {
 	name    string
@@ -69,6 +81,9 @@ type FluidEngine struct {
 	nextID int
 	dirty  bool
 	done   []core.Completion // reap scratch, reused across events
+
+	faults *fault.Timeline // nil = static healthy fabric
+	fobs   FaultObserver   // alloc, if it observes faults; else nil
 }
 
 // maxFreeFlows bounds the engine's Flow free list. One huge transient
@@ -105,6 +120,59 @@ type claimable interface {
 	claim() bool
 }
 
+// SetFaults arms the engine with a compiled fault timeline: as the
+// replay frontier crosses each change point, the timeline's shared
+// fault.State is stepped in place and the allocator re-runs (scoped to
+// the affected components when it implements FaultObserver). The caller
+// is responsible for wiring the same timeline's State into the
+// allocator's configuration (the substrate constructors do both); the
+// engine only owns the clock side. Must be called before any flow has
+// started; Reset rewinds the timeline along with the engine.
+func (e *FluidEngine) SetFaults(tl *fault.Timeline) {
+	if e.now != 0 || len(e.active) != 0 || e.nextID != 0 {
+		panic("netsim: SetFaults on an engine that has already run; Reset first")
+	}
+	e.faults = tl
+	if tl != nil {
+		tl.Rewind()
+		if fo, ok := e.alloc.(FaultObserver); ok {
+			e.fobs = fo
+		}
+	}
+}
+
+// nextFaultTime returns the next pending fault change point.
+func (e *FluidEngine) nextFaultTime() (float64, bool) {
+	if e.faults == nil {
+		return 0, false
+	}
+	return e.faults.Next()
+}
+
+// applyFaultStep advances the timeline one change point: the shared
+// State mutates in place, incremental allocators learn which targets
+// moved, and the active set is marked for reallocation.
+func (e *FluidEngine) applyFaultStep() {
+	targets := e.faults.Step()
+	if e.fobs != nil {
+		e.fobs.FaultTargetsChanged(targets)
+	}
+	e.dirty = true
+}
+
+// syncFaults applies every fault change point at or before the frontier.
+// Only callers that know no rate integration is pending may use it (the
+// active set is empty, or the interval was already integrated).
+func (e *FluidEngine) syncFaults() {
+	for {
+		t, ok := e.nextFaultTime()
+		if !ok || t > e.now {
+			return
+		}
+		e.applyFaultStep()
+	}
+}
+
 // Name implements core.Engine.
 func (e *FluidEngine) Name() string { return e.name }
 
@@ -134,6 +202,9 @@ func (e *FluidEngine) Reset() {
 	if e.obs != nil {
 		e.obs.ActiveSetReset()
 	}
+	if e.faults != nil {
+		e.faults.Rewind()
+	}
 }
 
 // StartFlow implements core.Engine. now must be at or after the frontier
@@ -147,6 +218,24 @@ func (e *FluidEngine) StartFlow(src, dst graph.NodeID, bytes float64, now float6
 		panic("netsim: StartFlow with non-positive volume")
 	}
 	if now > e.now {
+		// Integrate piecewise across fault change points inside
+		// (e.now, now): rates are only piecewise-constant between them.
+		// A fault at exactly `now` is left pending — it applies after the
+		// new flow starts, on the next Advance — so an arrival and a
+		// fault at the same instant order deterministically.
+		for {
+			tf, ok := e.nextFaultTime()
+			if !ok || tf >= now {
+				break
+			}
+			if tf > e.now {
+				if t, ok := e.nextCompletionTime(); ok && t < tf {
+					panic(fmt.Sprintf("netsim: StartFlow at %g skips completion at %g", now, t))
+				}
+				e.integrateTo(tf)
+			}
+			e.applyFaultStep()
+		}
 		if t, ok := e.nextCompletionTime(); ok && t < now {
 			panic(fmt.Sprintf("netsim: StartFlow at %g skips completion at %g", now, t))
 		}
@@ -179,10 +268,23 @@ func (e *FluidEngine) Advance(limit float64) ([]core.Completion, float64) {
 			if limit > e.now {
 				e.now = limit
 			}
+			// No rates to integrate; just keep the fault state current so
+			// flows started at the new frontier see the degraded fabric.
+			e.syncFaults()
 			return nil, e.now
 		}
 		e.reallocate()
 		te, ok := e.nextCompletionTime()
+		if tf, fok := e.nextFaultTime(); fok && tf <= limit && (!ok || tf < te) {
+			// The fabric changes before the next completion: integrate the
+			// constant-rate segment up to the change point, mutate the
+			// capacity overlay, and re-enter the loop to reallocate. A
+			// completion tying with a fault (te == tf) is reported first;
+			// the fault applies on the next iteration or Advance call.
+			e.integrateTo(tf)
+			e.applyFaultStep()
+			continue
+		}
 		if !ok || te > limit {
 			e.integrateTo(limit)
 			return nil, e.now

@@ -111,7 +111,11 @@ func referenceWaterFill(flows []*Flow, flowCap float64, senderCap, recvCap map[g
 }
 
 // referenceCoupledAllocate is the retained map-based two-phase coupled
-// allocation (see CoupledAllocator for the model description).
+// allocation (see CoupledAllocator for the model description). Fault
+// overlay semantics (cfg.Faults) mirror coupledDenseAllocate operation
+// for operation: host factors scale the sender line rate (base demand,
+// coupling reduction, water-fill capacity) and the receive capacity
+// (oversubscription rho, water-fill capacity).
 func referenceCoupledAllocate(cfg CoupledConfig, flows []*Flow) {
 	// Phase 1: base demand per sender.
 	nPerSender := make(map[graph.NodeID]int)
@@ -119,7 +123,7 @@ func referenceCoupledAllocate(cfg CoupledConfig, flows []*Flow) {
 		nPerSender[f.Src]++
 	}
 	base := func(f *Flow) float64 {
-		return math.Min(cfg.FlowCap, cfg.LineRate/float64(nPerSender[f.Src]))
+		return math.Min(cfg.FlowCap, cfg.LineRate*cfg.Faults.HostFactor(int(f.Src))/float64(nPerSender[f.Src]))
 	}
 	// Phase 2: receiver oversubscription and sender coupling.
 	inflow := make(map[graph.NodeID]float64)
@@ -132,14 +136,15 @@ func referenceCoupledAllocate(cfg CoupledConfig, flows []*Flow) {
 	}
 	effSend := make(map[graph.NodeID]float64)
 	for _, f := range flows {
-		rho := inflow[f.Dst] / cfg.RxCap
+		rho := inflow[f.Dst] / (cfg.RxCap * cfg.Faults.HostFactor(int(f.Dst)))
+		sline := cfg.LineRate * cfg.Faults.HostFactor(int(f.Src))
 		cur, ok := effSend[f.Src]
 		if !ok {
-			cur = cfg.LineRate
+			cur = sline
 			effSend[f.Src] = cur
 		}
 		if rho > threshold && cfg.Coupling > 0 {
-			reduced := cfg.LineRate * (1 - cfg.Coupling*(1-1/rho))
+			reduced := sline * (1 - cfg.Coupling*(1-1/rho))
 			if reduced < cur {
 				effSend[f.Src] = reduced
 			}
@@ -148,7 +153,7 @@ func referenceCoupledAllocate(cfg CoupledConfig, flows []*Flow) {
 	// Phase 3: max-min under the adjusted capacities.
 	recvCap := make(map[graph.NodeID]float64)
 	for d := range inflow {
-		recvCap[d] = cfg.RxCap
+		recvCap[d] = cfg.RxCap * cfg.Faults.HostFactor(int(d))
 	}
 	referenceWaterFill(flows, cfg.FlowCap, effSend, recvCap, cfg.LineRate, cfg.RxCap)
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/topology"
 )
@@ -24,7 +25,9 @@ type linkSide struct {
 // referenceWaterFillTopo is referenceWaterFill extended with uplink and
 // downlink constraints; constraint evaluation order per flow (flow cap,
 // sender, receiver, uplink, downlink) matches denseFill.runTopo exactly.
-func referenceWaterFillTopo(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.NodeID]float64, defSend, defRecv float64, topo topology.Spec, hostRate float64) {
+// fs (nil = healthy) scales per-switch uplink capacities by the fault
+// overlay's link factors, mirroring prepTopoLinks.
+func referenceWaterFillTopo(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.NodeID]float64, defSend, defRecv float64, topo topology.Spec, hostRate float64, fs *fault.State) {
 	if topo.Trivial() {
 		referenceWaterFill(flows, flowCap, senderCap, recvCap, defSend, defRecv)
 		return
@@ -61,10 +64,12 @@ func referenceWaterFillTopo(flows []*Flow, flowCap float64, senderCap, recvCap m
 		}
 		crosses[i] = true
 		if up[ss] == nil {
-			up[ss] = &linkSide{left: linkCap, orig: linkCap}
+			c := linkCap * fs.LinkFactor(ss)
+			up[ss] = &linkSide{left: c, orig: c}
 		}
 		if dn[ds] == nil {
-			dn[ds] = &linkSide{left: linkCap, orig: linkCap}
+			c := linkCap * fs.LinkFactor(ds)
+			dn[ds] = &linkSide{left: c, orig: c}
 		}
 		up[ss].count++
 		dn[ds].count++
@@ -165,7 +170,7 @@ func referenceCoupledTopoAllocate(cfg CoupledConfig, flows []*Flow) {
 		nPerSender[f.Src]++
 	}
 	base := func(f *Flow) float64 {
-		return math.Min(cfg.FlowCap, cfg.LineRate/float64(nPerSender[f.Src]))
+		return math.Min(cfg.FlowCap, cfg.LineRate*cfg.Faults.HostFactor(int(f.Src))/float64(nPerSender[f.Src]))
 	}
 	inflow := make(map[graph.NodeID]float64)
 	for _, f := range flows {
@@ -177,14 +182,15 @@ func referenceCoupledTopoAllocate(cfg CoupledConfig, flows []*Flow) {
 	}
 	effSend := make(map[graph.NodeID]float64)
 	for _, f := range flows {
-		rho := inflow[f.Dst] / cfg.RxCap
+		rho := inflow[f.Dst] / (cfg.RxCap * cfg.Faults.HostFactor(int(f.Dst)))
+		sline := cfg.LineRate * cfg.Faults.HostFactor(int(f.Src))
 		cur, ok := effSend[f.Src]
 		if !ok {
-			cur = cfg.LineRate
+			cur = sline
 			effSend[f.Src] = cur
 		}
 		if rho > threshold && cfg.Coupling > 0 {
-			reduced := cfg.LineRate * (1 - cfg.Coupling*(1-1/rho))
+			reduced := sline * (1 - cfg.Coupling*(1-1/rho))
 			if reduced < cur {
 				effSend[f.Src] = reduced
 			}
@@ -192,9 +198,9 @@ func referenceCoupledTopoAllocate(cfg CoupledConfig, flows []*Flow) {
 	}
 	recvCap := make(map[graph.NodeID]float64)
 	for d := range inflow {
-		recvCap[d] = cfg.RxCap
+		recvCap[d] = cfg.RxCap * cfg.Faults.HostFactor(int(d))
 	}
-	referenceWaterFillTopo(flows, cfg.FlowCap, effSend, recvCap, cfg.LineRate, cfg.RxCap, cfg.Topo, cfg.FlowCap)
+	referenceWaterFillTopo(flows, cfg.FlowCap, effSend, recvCap, cfg.LineRate, cfg.RxCap, cfg.Topo, cfg.FlowCap, cfg.Faults)
 }
 
 // ReferenceTopoAllocator runs the retained map-based topology-aware

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/topology"
 )
@@ -24,9 +25,11 @@ import (
 
 // prepTopoLinks interns the edge switches touched by inter-switch flows
 // and fills the per-flow uplink/downlink slot arrays. linkCap is the
-// per-direction capacity of one uplink. Counts are the initial unfrozen
-// flow counts per link, consumed by runTopo.
-func prepTopoLinks(sc *fillScratch, flows []*Flow, topo topology.Spec, linkCap float64) {
+// per-direction capacity of one healthy uplink; fs (nil for a healthy
+// fabric) scales each switch's uplink by its fault factor, in both
+// directions. Counts are the initial unfrozen flow counts per link,
+// consumed by runTopo.
+func prepTopoLinks(sc *fillScratch, flows []*Flow, topo topology.Spec, linkCap float64, fs *fault.State) {
 	d := &sc.d
 	for _, f := range flows {
 		ss, ds := topo.SwitchOf(f.Src), topo.SwitchOf(f.Dst)
@@ -37,16 +40,18 @@ func prepTopoLinks(sc *fillScratch, flows []*Flow, topo topology.Spec, linkCap f
 		}
 		ui, fresh := sc.up.intern(ss)
 		if fresh {
-			d.upLeft = append(d.upLeft, linkCap)
-			d.upOrig = append(d.upOrig, linkCap)
+			c := linkCap * fs.LinkFactor(ss)
+			d.upLeft = append(d.upLeft, c)
+			d.upOrig = append(d.upOrig, c)
 			d.upCount = append(d.upCount, 0)
 		}
 		d.upCount[ui]++
 		d.uidx = append(d.uidx, ui)
 		di, fresh := sc.dn.intern(ds)
 		if fresh {
-			d.dnLeft = append(d.dnLeft, linkCap)
-			d.dnOrig = append(d.dnOrig, linkCap)
+			c := linkCap * fs.LinkFactor(ds)
+			d.dnLeft = append(d.dnLeft, c)
+			d.dnOrig = append(d.dnOrig, c)
 			d.dnCount = append(d.dnCount, 0)
 		}
 		d.dnCount[di]++
@@ -246,7 +251,7 @@ func WaterFillTopo(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.
 		return
 	}
 	if !denseOK(flows) {
-		referenceWaterFillTopo(flows, flowCap, senderCap, recvCap, defSend, defRecv, topo, hostRate)
+		referenceWaterFillTopo(flows, flowCap, senderCap, recvCap, defSend, defRecv, topo, hostRate, nil)
 		return
 	}
 	sc := fillPool.Get().(*fillScratch)
@@ -272,7 +277,7 @@ func WaterFillTopo(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.
 		d.rcvCount[ri]++
 		d.ridx = append(d.ridx, ri)
 	}
-	prepTopoLinks(sc, flows, topo, topo.UplinkCap(hostRate))
+	prepTopoLinks(sc, flows, topo, topo.UplinkCap(hostRate), nil)
 	d.runTopo(flows, flowCap)
 	putFillScratch(sc)
 }
@@ -285,6 +290,11 @@ func WaterFillTopo(flows []*Flow, flowCap float64, senderCap, recvCap map[graph.
 // use; scratch is reused, so steady-state Apply calls allocate nothing.
 // A TopoFiller is not safe for concurrent use.
 type TopoFiller struct {
+	// Faults, when non-nil, scales each uplink's capacity by the
+	// overlay's per-switch factor (both directions). Host factors are the
+	// crossbar-level allocator's concern; the filler only owns links.
+	Faults *fault.State
+
 	scr  fillScratch
 	caps []float64
 }
@@ -302,6 +312,6 @@ func (tf *TopoFiller) Apply(flows []*Flow, topo topology.Spec, hostRate float64)
 	for _, f := range flows {
 		tf.caps = append(tf.caps, f.Rate)
 	}
-	prepTopoLinks(sc, flows, topo, topo.UplinkCap(hostRate))
+	prepTopoLinks(sc, flows, topo, topo.UplinkCap(hostRate), tf.Faults)
 	sc.d.runCaps(flows, tf.caps)
 }

@@ -150,7 +150,7 @@ func TestWaterFillTopoMatchesReference(t *testing.T) {
 			flowCap := 0.25 + rng.Float64()
 			host := 0.5 + rng.Float64()
 			WaterFillTopo(a, flowCap, sndCap, rcvCap, 1, 1.1, spec, host)
-			referenceWaterFillTopo(b, flowCap, sndCap, rcvCap, 1, 1.1, spec, host)
+			referenceWaterFillTopo(b, flowCap, sndCap, rcvCap, 1, 1.1, spec, host, nil)
 			for i := range a {
 				if d := relDiff(a[i].Rate, b[i].Rate); d > 1e-12 {
 					t.Fatalf("%s scheme %d flow %d: opt %.17g ref %.17g (rel %g)",

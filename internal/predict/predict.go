@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"bwshare/internal/core"
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/model"
 	"bwshare/internal/netsim"
@@ -57,10 +58,54 @@ func NewEngineWithTopology(m core.Model, refRate float64, topo topology.Spec) *n
 	return netsim.NewFluidEngine("predict-"+m.Name()+"-"+topo.Kind.String(), refRate, a)
 }
 
+// NewEngineWithFaults is NewEngineWithTopology on a degraded fabric:
+// the schedule compiles into a timeline the engine steps mid-replay,
+// host slowdowns cap the model-level rates of the affected endpoints,
+// and link faults scale the fabric's uplink capacities. An empty
+// schedule returns exactly NewEngineWithTopology's engine. The schedule
+// must validate against topo, and must not contain a permanent
+// zero-capacity fault (a flow behind one would never complete, so no
+// finite prediction exists).
+func NewEngineWithFaults(m core.Model, refRate float64, topo topology.Spec, sched fault.Schedule) (*netsim.FluidEngine, error) {
+	if sched.Empty() {
+		return NewEngineWithTopology(m, refRate, topo), nil
+	}
+	if err := sched.Validate(topo); err != nil {
+		return nil, err
+	}
+	if i := sched.PermanentZero(); i >= 0 {
+		return nil, fmt.Errorf("fault: event %d (%s): permanent zero-capacity fault stalls prediction forever; add an until clause", i, sched.Events[i])
+	}
+	tl := fault.Compile(sched)
+	ma := modelAllocator{m: m, ref: refRate, faults: tl.State()}
+	var (
+		alloc netsim.Allocator
+		name  = "predict-" + m.Name() + "-faulted"
+	)
+	if topo.Trivial() {
+		alloc = &ma
+	} else {
+		alloc = &topoModelAllocator{
+			modelAllocator: ma,
+			topo:           topo,
+			tf:             netsim.TopoFiller{Faults: tl.State()},
+		}
+		name = "predict-" + m.Name() + "-" + topo.Kind.String() + "-faulted"
+	}
+	e := netsim.NewFluidEngine(name, refRate, alloc)
+	e.SetFaults(tl)
+	return e, nil
+}
+
 // modelAllocator adapts a penalty Model to the fluid Allocator interface.
 type modelAllocator struct {
 	m   core.Model
 	ref float64
+	// faults, when non-nil, is the shared overlay of a fault.Timeline the
+	// engine steps: the model's penalties assume healthy NICs, so each
+	// flow's rate is additionally capped by its endpoints' degraded NIC
+	// shares, ref * factor. Healthy engines leave it nil.
+	faults *fault.State
 }
 
 // Allocate implements netsim.Allocator.
@@ -78,7 +123,16 @@ func (a *modelAllocator) Allocate(flows []*netsim.Flow) {
 	}
 	p := a.m.Penalties(g)
 	for i, f := range flows {
-		f.Rate = a.ref / p[i]
+		r := a.ref / p[i]
+		if a.faults != nil {
+			if c := a.ref * a.faults.HostFactor(int(f.Src)); c < r {
+				r = c
+			}
+			if c := a.ref * a.faults.HostFactor(int(f.Dst)); c < r {
+				r = c
+			}
+		}
+		f.Rate = r
 	}
 }
 
@@ -126,6 +180,21 @@ func NewSession(m core.Model, refRate float64) *Session {
 // NewSession.
 func NewSessionWithTopology(m core.Model, refRate float64, topo topology.Spec) *Session {
 	return &Session{m: m, ref: refRate, eng: NewEngineWithTopology(m, refRate, topo)}
+}
+
+// NewSessionWithFaults builds a reusable prediction context whose
+// progressive evaluation runs on a degraded fabric (see
+// NewEngineWithFaults): NIC slowdowns cap the affected endpoints'
+// model-level rates, link faults scale the fabric's uplinks, and every
+// Times call replays the same schedule from t=0 (Reset rewinds the
+// timeline with the engine). An empty schedule is exactly
+// NewSessionWithTopology.
+func NewSessionWithFaults(m core.Model, refRate float64, topo topology.Spec, sched fault.Schedule) (*Session, error) {
+	e, err := NewEngineWithFaults(m, refRate, topo, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{m: m, ref: refRate, eng: e}, nil
 }
 
 // Model returns the session's penalty model.

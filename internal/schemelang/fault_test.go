@@ -1,0 +1,122 @@
+package schemelang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bwshare/internal/fault"
+)
+
+// TestParseFullFaultHeaders: fault: headers parse into the schedule in
+// declaration order, and may precede the topology: header they are
+// checked against.
+func TestParseFullFaultHeaders(t *testing.T) {
+	src := `
+fault: link 1 down at 0.05 until 0.2
+topology: star 4x4
+fault: host 3 slow 0.5 at 0.1   # comments still work
+a: 0 -> 5
+b: 8 -> 5 10MB
+`
+	g, spec, sched, err := ParseFull(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("parsed %d comms, want 2", g.Len())
+	}
+	if spec.Switches != 4 {
+		t.Fatalf("parsed topology %s, want star 4x4", spec)
+	}
+	want := fault.Schedule{Events: []fault.Event{
+		{Kind: fault.LinkDown, Target: 1, At: 0.05, Until: 0.2},
+		{Kind: fault.HostSlow, Target: 3, Factor: 0.5, At: 0.1},
+	}}
+	if !sched.Equal(want) {
+		t.Fatalf("parsed schedule:\n%swant:\n%s", sched.Canonical(), want.Canonical())
+	}
+}
+
+// TestParseFullFaultErrors: bad fault headers fail with the offending
+// line number, including fabric mismatches only detectable after the
+// whole scheme is read.
+func TestParseFullFaultErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		line      int
+		want      string
+	}{
+		{
+			"bad grammar",
+			"fault: link 1 explode at 0.05\na: 0 -> 1\n",
+			1, "unknown link fault",
+		},
+		{
+			"link fault without fabric",
+			"a: 0 -> 1\nfault: link 0 down at 1 until 2\n",
+			2, "no uplinks",
+		},
+		{
+			"missing switch",
+			"topology: star 2x4\nfault: link 7 down at 1 until 2\na: 0 -> 5\n",
+			2, "switch 7 does not exist",
+		},
+		{
+			"missing host",
+			"topology: star 2x4\nfault: host 99 slow 0.5 at 1\na: 0 -> 5\n",
+			2, "host 99 does not exist",
+		},
+		{
+			"repair before failure",
+			"fault: host 0 slow 0.5 at 2 until 1\na: 0 -> 1\n",
+			1, "precedes",
+		},
+	}
+	for _, c := range cases {
+		_, _, _, err := ParseFull(c.src)
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a ParseError", c.name, err)
+			continue
+		}
+		if pe.Line != c.line {
+			t.Errorf("%s: error on line %d, want %d (%v)", c.name, pe.Line, c.line, err)
+		}
+		if !strings.Contains(pe.Msg, c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, pe.Msg, c.want)
+		}
+	}
+}
+
+// TestParseRejectsFaultHeaders: the fault-oblivious entry points must
+// not silently strip a degraded fabric from the scheme.
+func TestParseRejectsFaultHeaders(t *testing.T) {
+	src := "a: 0 -> 1\nfault: host 0 slow 0.5 at 1\n"
+	if _, err := Parse(src); err == nil {
+		t.Error("Parse accepted a fault: header")
+	}
+	_, _, err := ParseWithTopology(src)
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 2 {
+		t.Fatalf("ParseWithTopology error %v, want ParseError on line 2", err)
+	}
+	if !strings.Contains(pe.Msg, "ParseFull") {
+		t.Errorf("error %q should point at ParseFull", pe.Msg)
+	}
+}
+
+// TestFaultStillUsableAsLabel: a communication labelled "fault" keeps
+// parsing — the header form requires no "->" on the line.
+func TestFaultStillUsableAsLabel(t *testing.T) {
+	g, _, sched, err := ParseFull("fault: 0 -> 1 4MB\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Empty() {
+		t.Fatalf("label line parsed as fault event: %s", sched.Canonical())
+	}
+	if c, ok := g.ByLabel("fault"); !ok || c.Volume != 4e6 {
+		t.Fatalf("comm labelled 'fault' not parsed: %+v ok=%v", c, ok)
+	}
+}

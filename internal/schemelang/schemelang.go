@@ -23,6 +23,18 @@
 //
 // Topology-agnostic callers use Parse, which accepts and ignores the
 // headers, so annotated scheme files stay readable everywhere.
+//
+// A scheme may further schedule fabric faults, one `fault:` header per
+// event, in the grammar of package fault (see ParseFull):
+//
+//	fault: link 1 down at 0.05 until 0.2
+//	fault: host 3 slow 0.5 at 0.1
+//
+// Fault headers are validated against the declared topology at parse
+// time. Unlike topology headers they are NOT silently ignorable — a
+// caller that dropped them would predict a healthy fabric for a
+// degraded scheme — so Parse and ParseWithTopology reject scheme files
+// carrying them; only ParseFull accepts faults.
 package schemelang
 
 import (
@@ -31,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/topology"
 )
@@ -52,7 +65,7 @@ func (e *ParseError) Error() string {
 
 // Parse builds a communication graph from the textual description.
 // Topology headers are accepted and discarded; use ParseWithTopology to
-// retrieve them.
+// retrieve them. Fault headers are rejected (see ParseFull).
 func Parse(src string) (*graph.Graph, error) {
 	g, _, err := ParseWithTopology(src)
 	return g, err
@@ -61,9 +74,35 @@ func Parse(src string) (*graph.Graph, error) {
 // ParseWithTopology builds a communication graph plus the fabric the
 // scheme declares via its optional 'topology:' and 'place:' headers.
 // Without headers the spec is the zero (single crossbar) topology. The
-// scheme's nodes are checked to fit the declared fabric.
+// scheme's nodes are checked to fit the declared fabric. Fault headers
+// are rejected: ignoring them would silently predict a healthy fabric
+// for a degraded scheme (see ParseFull).
 func ParseWithTopology(src string) (*graph.Graph, topology.Spec, error) {
+	g, spec, sched, lines, err := parseFull(src)
+	if err != nil {
+		return nil, spec, err
+	}
+	if !sched.Empty() {
+		return nil, spec, &ParseError{lines[0], "fault: headers are not supported by this caller; use ParseFull (or a fault-aware command)"}
+	}
+	return g, spec, nil
+}
+
+// ParseFull builds a communication graph plus the declared fabric plus
+// the declared fault schedule. Each fault: header holds one event in
+// package fault's grammar; events are validated against the declared
+// topology, and errors name the offending line.
+func ParseFull(src string) (*graph.Graph, topology.Spec, fault.Schedule, error) {
+	g, spec, sched, _, err := parseFull(src)
+	return g, spec, sched, err
+}
+
+// parseFull is the single parser behind Parse, ParseWithTopology and
+// ParseFull. lines[i] is the 1-based source line of sched.Events[i].
+func parseFull(src string) (*graph.Graph, topology.Spec, fault.Schedule, []int, error) {
 	var spec topology.Spec
+	var sched fault.Schedule
+	var faultLines []int // 1-based source line of each event
 	b := graph.NewBuilder()
 	volume := float64(DefaultVolume)
 	seen := false
@@ -81,11 +120,11 @@ func ParseWithTopology(src string) (*graph.Graph, topology.Spec, error) {
 		fields := strings.Fields(line)
 		if fields[0] == "volume" {
 			if len(fields) != 2 {
-				return nil, spec, &ParseError{ln + 1, "volume directive needs exactly one argument"}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, "volume directive needs exactly one argument"}
 			}
 			v, err := ParseVolume(fields[1])
 			if err != nil {
-				return nil, spec, &ParseError{ln + 1, err.Error()}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, err.Error()}
 			}
 			volume = v
 			continue
@@ -96,7 +135,7 @@ func ParseWithTopology(src string) (*graph.Graph, topology.Spec, error) {
 		// keep parsing.
 		if arg, ok := strings.CutPrefix(line, "topology:"); ok && !strings.Contains(arg, "->") {
 			if topoSeen {
-				return nil, spec, &ParseError{ln + 1, "duplicate topology header"}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, "duplicate topology header"}
 			}
 			topoSeen = true
 			for _, f := range strings.Fields(arg) {
@@ -105,12 +144,12 @@ func ParseWithTopology(src string) (*graph.Graph, topology.Spec, error) {
 				}
 			}
 			if placeSeen && inlinePlace {
-				return nil, spec, &ParseError{ln + 1, "placement declared both as a place: header and inside the topology header"}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, "placement declared both as a place: header and inside the topology header"}
 			}
 			place := spec.Place // a preceding place: header
 			s, err := topology.ParseSpec(strings.TrimSpace(arg))
 			if err != nil {
-				return nil, spec, &ParseError{ln + 1, err.Error()}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, err.Error()}
 			}
 			spec = s
 			if placeSeen && spec.Kind != topology.Crossbar {
@@ -120,68 +159,84 @@ func ParseWithTopology(src string) (*graph.Graph, topology.Spec, error) {
 		}
 		if arg, ok := strings.CutPrefix(line, "place:"); ok && !strings.Contains(arg, "->") {
 			if placeSeen {
-				return nil, spec, &ParseError{ln + 1, "duplicate place header"}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, "duplicate place header"}
 			}
 			if inlinePlace {
-				return nil, spec, &ParseError{ln + 1, "placement declared both as a place: header and inside the topology header"}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, "placement declared both as a place: header and inside the topology header"}
 			}
 			placeSeen = true
 			placeAt = ln + 1
 			p, err := topology.ParsePlacement(strings.TrimSpace(arg))
 			if err != nil {
-				return nil, spec, &ParseError{ln + 1, err.Error()}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, err.Error()}
 			}
 			spec.Place = p
 			continue
 		}
+		if arg, ok := strings.CutPrefix(line, "fault:"); ok && !strings.Contains(arg, "->") {
+			e, err := fault.ParseEvent(strings.TrimSpace(arg))
+			if err != nil {
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, err.Error()}
+			}
+			sched.Events = append(sched.Events, e)
+			faultLines = append(faultLines, ln+1)
+			continue
+		}
 		label, rest, ok := strings.Cut(line, ":")
 		if !ok {
-			return nil, spec, &ParseError{ln + 1, fmt.Sprintf("expected 'label: src -> dst', 'volume', 'topology:' or 'place:', got %q", line)}
+			return nil, spec, sched, faultLines, &ParseError{ln + 1, fmt.Sprintf("expected 'label: src -> dst', 'volume', 'topology:', 'place:' or 'fault:', got %q", line)}
 		}
 		label = strings.TrimSpace(label)
 		if label == "" || strings.ContainsAny(label, " \t") {
-			return nil, spec, &ParseError{ln + 1, fmt.Sprintf("invalid label %q", label)}
+			return nil, spec, sched, faultLines, &ParseError{ln + 1, fmt.Sprintf("invalid label %q", label)}
 		}
 		srcStr, dstStr, ok := strings.Cut(rest, "->")
 		if !ok {
-			return nil, spec, &ParseError{ln + 1, "missing '->'"}
+			return nil, spec, sched, faultLines, &ParseError{ln + 1, "missing '->'"}
 		}
 		srcNode, err := parseNode(srcStr)
 		if err != nil {
-			return nil, spec, &ParseError{ln + 1, "source: " + err.Error()}
+			return nil, spec, sched, faultLines, &ParseError{ln + 1, "source: " + err.Error()}
 		}
 		dstFields := strings.Fields(dstStr)
 		if len(dstFields) < 1 || len(dstFields) > 2 {
-			return nil, spec, &ParseError{ln + 1, "expected 'dst [volume]' after '->'"}
+			return nil, spec, sched, faultLines, &ParseError{ln + 1, "expected 'dst [volume]' after '->'"}
 		}
 		dstNode, err := parseNode(dstFields[0])
 		if err != nil {
-			return nil, spec, &ParseError{ln + 1, "destination: " + err.Error()}
+			return nil, spec, sched, faultLines, &ParseError{ln + 1, "destination: " + err.Error()}
 		}
 		v := volume
 		if len(dstFields) == 2 {
 			v, err = ParseVolume(dstFields[1])
 			if err != nil {
-				return nil, spec, &ParseError{ln + 1, err.Error()}
+				return nil, spec, sched, faultLines, &ParseError{ln + 1, err.Error()}
 			}
 		}
 		b.Add(label, srcNode, dstNode, v)
 		seen = true
 	}
 	if placeSeen && spec.Trivial() {
-		return nil, spec, &ParseError{placeAt, "place: needs a multi-switch topology header"}
+		return nil, spec, sched, faultLines, &ParseError{placeAt, "place: needs a multi-switch topology header"}
 	}
 	if !seen {
-		return nil, spec, &ParseError{0, "no communications in scheme"}
+		return nil, spec, sched, faultLines, &ParseError{0, "no communications in scheme"}
 	}
 	g, err := b.Build()
 	if err != nil {
-		return nil, spec, fmt.Errorf("schemelang: %w", err)
+		return nil, spec, sched, faultLines, fmt.Errorf("schemelang: %w", err)
 	}
 	if err := spec.CheckFit(g.MaxNode()); err != nil {
-		return nil, spec, fmt.Errorf("schemelang: %w", err)
+		return nil, spec, sched, faultLines, fmt.Errorf("schemelang: %w", err)
 	}
-	return g, spec, nil
+	// Fault events are checked against the fabric only now: the
+	// topology: header may legally follow the fault: headers.
+	for i, e := range sched.Events {
+		if err := fault.CheckEvent(e, spec); err != nil {
+			return nil, spec, sched, faultLines, &ParseError{faultLines[i], "fault: " + err.Error()}
+		}
+	}
+	return g, spec, sched, faultLines, nil
 }
 
 func parseNode(s string) (graph.NodeID, error) {

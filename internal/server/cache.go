@@ -3,21 +3,25 @@ package server
 import (
 	"sync"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/topology"
 )
 
 // cacheKey identifies one cached prediction: canonical scheme hash x
-// model x static/progressive x reference rate x fabric. The scheme hash
-// can collide, so hits are confirmed against the stored graph with
-// graph.Equal before being served; the other fields are exact values,
-// so two requests differing only in topology never collide.
+// model x static/progressive x reference rate x fabric x fault-schedule
+// hash. The scheme and fault hashes can collide, so hits are confirmed
+// against the stored graph (graph.Equal) and schedule (Schedule.Equal)
+// before being served — a degraded prediction must never alias a
+// healthy one. The empty schedule hashes to 0, so healthy entries keep
+// their historical keys. The other fields are exact values.
 type cacheKey struct {
 	hash   uint64
 	model  string
 	static bool
 	ref    float64
 	topo   topology.Spec
+	faults uint64
 }
 
 // entry is one LRU cache slot. The stored slices are immutable once
@@ -25,6 +29,7 @@ type cacheKey struct {
 type entry struct {
 	key        cacheKey
 	g          *graph.Graph
+	sched      fault.Schedule
 	pen, times []float64
 
 	prev, next *entry // intrusive LRU list, most recent at head
@@ -46,16 +51,16 @@ func newLRU(capacity int) *lru {
 	return &lru{cap: capacity, byKey: make(map[cacheKey]*entry)}
 }
 
-// get returns the entry for key after confirming the stored graph
-// matches g, promoting it to most recently used.
-func (c *lru) get(key cacheKey, g *graph.Graph) *entry {
+// get returns the entry for key after confirming the stored graph and
+// fault schedule match, promoting it to most recently used.
+func (c *lru) get(key cacheKey, g *graph.Graph, sched fault.Schedule) *entry {
 	if c.cap <= 0 {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.byKey[key]
-	if e == nil || !graph.Equal(e.g, g) {
+	if e == nil || !graph.Equal(e.g, g) || !e.sched.Equal(sched) {
 		return nil
 	}
 	c.moveToFront(e)
@@ -77,7 +82,7 @@ func (c *lru) put(e *entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old := c.byKey[e.key]; old != nil {
-		if !graph.Equal(old.g, e.g) {
+		if !graph.Equal(old.g, e.g) || !old.sched.Equal(e.sched) {
 			return // collision: first resident wins
 		}
 		c.unlink(old)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/fleet"
 	"bwshare/internal/graph"
 )
@@ -27,6 +28,9 @@ type ClusterRequest struct {
 	Hosts int `json:"hosts,omitempty"`
 	// Topology is the fabric; omitted means the paper's single crossbar.
 	Topology *TopologyRequest `json:"topology,omitempty"`
+	// Faults degrades the cluster's fabric for its whole lifetime; every
+	// admission and placement what-if is scored under this schedule.
+	Faults []FaultRequest `json:"faults,omitempty"`
 }
 
 // JobRequest is the body of POST /v1/clusters/{name}/jobs. Exactly one
@@ -62,13 +66,16 @@ type PlacementsRequest struct {
 
 // clusterDoc is the JSON form of a fleet.Info snapshot.
 type clusterDoc struct {
-	Name      string   `json:"name"`
-	Topology  string   `json:"topology"`
-	Model     string   `json:"model"`
-	RefRate   float64  `json:"ref_rate_bytes_per_s"`
-	Hosts     int      `json:"hosts"`
-	FreeHosts int      `json:"free_hosts"`
-	Jobs      []jobDoc `json:"jobs"`
+	Name      string  `json:"name"`
+	Topology  string  `json:"topology"`
+	Model     string  `json:"model"`
+	RefRate   float64 `json:"ref_rate_bytes_per_s"`
+	Hosts     int     `json:"hosts"`
+	FreeHosts int     `json:"free_hosts"`
+	// Faults renders the schedule in the schemelang fault: grammar;
+	// omitted for healthy clusters (keeps historical documents stable).
+	Faults []string `json:"faults,omitempty"`
+	Jobs   []jobDoc `json:"jobs"`
 }
 
 // jobDoc is the JSON form of a fleet.JobInfo snapshot. Hosts[r] is the
@@ -103,6 +110,7 @@ func buildClusterDoc(info fleet.Info) clusterDoc {
 		RefRate:   info.RefRate,
 		Hosts:     info.Hosts,
 		FreeHosts: info.FreeHosts,
+		Faults:    info.Faults,
 		Jobs:      jobs,
 	}
 }
@@ -147,15 +155,18 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 
 // resolveJobScheme builds the job's communication scheme from exactly
 // one of the three forms, with the same size limits as /v1/predict. The
-// cluster owns the fabric, so scheme text declaring its own topology is
-// rejected.
+// cluster owns the fabric and its fault schedule, so scheme text
+// declaring its own topology or faults is rejected.
 func resolveJobScheme(catalog, scheme string, comms []CommRequest) (*graph.Graph, error) {
-	g, topo, err := resolveGraphForm(PredictRequest{Name: catalog, Scheme: scheme, Comms: comms})
+	g, topo, sched, err := resolveGraphForm(PredictRequest{Name: catalog, Scheme: scheme, Comms: comms})
 	if err != nil {
 		return nil, fmt.Errorf("exactly one of catalog, scheme or comms must give the job's communications: %v", err)
 	}
 	if !topo.Trivial() {
 		return nil, fmt.Errorf("scheme text declares topology %q, but the cluster already owns the fabric", topo)
+	}
+	if !sched.Empty() {
+		return nil, fmt.Errorf("scheme text declares fault: headers, but the cluster already owns the fault schedule")
 	}
 	if g.Len() > MaxComms {
 		return nil, fmt.Errorf("scheme has %d communications, limit %d", g.Len(), MaxComms)
@@ -186,12 +197,28 @@ func (s *Server) handleClusterCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var sched fault.Schedule
+	if len(req.Faults) > 0 {
+		if len(req.Faults) > MaxFaultEvents {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("schedule of %d faults exceeds limit %d", len(req.Faults), MaxFaultEvents))
+			return
+		}
+		events := make([]fault.Event, len(req.Faults))
+		for i, fr := range req.Faults {
+			if events[i], err = fr.event(i); err != nil {
+				s.writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		sched = fault.Schedule{Events: events}
+	}
 	info, err := s.clusters.Create(fleet.Spec{
 		Name:    req.Name,
 		Topo:    topo,
 		Hosts:   req.Hosts,
 		Model:   req.Model,
 		RefRate: req.RefRate,
+		Faults:  sched,
 	})
 	if err != nil {
 		s.writeError(w, statusFor(err), err.Error())

@@ -34,13 +34,41 @@
 // simulator; the hit path performs zero heap allocations (benchmarked in
 // internal/benchsuite).
 //
+// # Fault schedules
+//
+// A predict request may degrade its fabric mid-replay with a "faults"
+// array (at most MaxFaultEvents entries). Each entry is one scheduled
+// event:
+//
+//	{"kind": "link_down",    "switch": 0, "at": 1.5, "until": 3}
+//	{"kind": "link_degrade", "switch": 1, "factor": 0.25, "at": 0}
+//	{"kind": "host_slow",    "host": 2, "factor": 0.5, "at": 0, "until": 9}
+//
+// Times are engine seconds; "until" 0 (or absent) means the fault never
+// repairs. Link events need a multi-switch "topology" (in the request or
+// the scheme text's header) and target an edge switch's uplink; scheme
+// text may equivalently declare "fault:" headers (see schemelang), but
+// not both. Faulted predictions are cached like healthy ones — the cache
+// key includes the schedule — and refuse "static": true, permanent
+// total outages, and cluster scheme text with "fault:" headers (the
+// cluster owns its fault schedule, set at creation).
+//
+// # Deadlines
+//
+// Each request — batch items individually — gets Config.RequestTimeout
+// (default DefaultRequestTimeout) to acquire a worker and simulate;
+// exceeding it answers 503 and the abandoned worker rejoins the pool
+// only after its simulation finishes, so a slow run cannot corrupt a
+// later request's session.
+//
 // Client mistakes (unknown models, malformed schemes, missing clusters)
 // are 4xx with a JSON error envelope; failures of the service itself —
-// a recovered simulator panic — are 500 and counted separately in
-// /v1/stats.
+// a recovered simulator panic, a deadline exceeded — are 5xx and
+// counted separately in /v1/stats.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,8 +76,10 @@ import (
 	"runtime"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"bwshare/internal/core"
+	"bwshare/internal/fault"
 	"bwshare/internal/fleet"
 	"bwshare/internal/graph"
 	"bwshare/internal/predict"
@@ -74,6 +104,15 @@ const (
 // maxBodyBytes bounds request bodies; schemes are small text documents.
 const maxBodyBytes = 1 << 20
 
+// MaxFaultEvents bounds the fault schedule of one request: generous for
+// resilience studies, small enough that a hostile schedule cannot make
+// timeline compilation or mid-replay churn arbitrarily expensive.
+const MaxFaultEvents = 256
+
+// DefaultRequestTimeout is the per-request simulation deadline when the
+// Config leaves it zero.
+const DefaultRequestTimeout = 30 * time.Second
+
 // Config sizes the service.
 type Config struct {
 	// Workers bounds how many predictions run concurrently; each worker
@@ -82,6 +121,11 @@ type Config struct {
 	// CacheSize is the LRU response-cache capacity in entries. 0 picks
 	// the default (1024); negative disables caching.
 	CacheSize int
+	// RequestTimeout bounds one prediction from worker acquisition to
+	// simulation finish; a request that cannot finish in time is
+	// answered 503. 0 picks DefaultRequestTimeout; negative disables
+	// the deadline.
+	RequestTimeout time.Duration
 }
 
 // Server is the HTTP prediction service. Create with New.
@@ -108,10 +152,19 @@ type Server struct {
 // to 500 where plain errors map to 400.
 var errInternal = errors.New("internal error")
 
+// errTimeout marks a prediction that exceeded the configured request
+// deadline: either no worker freed up in time, or the simulation itself
+// was too slow (a wedged engine on a degenerate scheme). statusFor maps
+// it to 503 — the service is overloaded or stuck, the request may well
+// succeed on retry or with a longer deadline.
+var errTimeout = errors.New("request timed out")
+
 // statusFor translates an error from the predict or fleet layers into
 // the HTTP status the client should see.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, errTimeout):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, errInternal) || errors.Is(err, fleet.ErrInternal):
 		return http.StatusInternalServerError
 	case errors.Is(err, fleet.ErrNotFound):
@@ -157,6 +210,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 1024
 	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
 	s := &Server{
 		cfg:      cfg,
 		canon:    make(map[string]string),
@@ -200,9 +256,13 @@ type Result struct {
 
 // Predict computes (or serves from cache) the prediction for g under the
 // named model on the given fabric (the zero Spec is the paper's single
-// crossbar). refOverride, when positive, replaces the substrate's
-// default reference rate. The cache-hit path allocates nothing.
-func (s *Server) Predict(g *graph.Graph, modelName string, static bool, refOverride float64, topo topology.Spec) (Result, error) {
+// crossbar), with the fault schedule applied mid-replay (the zero
+// Schedule is the healthy fabric). refOverride, when positive, replaces
+// the substrate's default reference rate. ctx bounds the whole
+// computation: expiry — waiting for a worker or mid-simulation — yields
+// an errTimeout-wrapped error (HTTP 503). The cache-hit path allocates
+// nothing.
+func (s *Server) Predict(ctx context.Context, g *graph.Graph, modelName string, static bool, refOverride float64, topo topology.Spec, sched fault.Schedule) (Result, error) {
 	name, ok := s.canon[modelName]
 	if !ok {
 		return Result{}, fmt.Errorf("unknown model %q (see /v1/models)", modelName)
@@ -214,53 +274,89 @@ func (s *Server) Predict(g *graph.Graph, modelName string, static bool, refOverr
 	if ref == 0 {
 		ref = s.refs[name]
 	}
-	key := cacheKey{hash: schemelang.Hash(g), model: name, static: static, ref: ref, topo: topo}
-	if e := s.cache.get(key, g); e != nil {
+	key := cacheKey{hash: schemelang.Hash(g), model: name, static: static, ref: ref, topo: topo, faults: sched.Hash()}
+	if e := s.cache.get(key, g, sched); e != nil {
 		s.cacheHits.Add(1)
 		return Result{Model: name, RefRate: ref, Penalties: e.pen, Times: e.times, Cached: true}, nil
 	}
 	s.cacheMisses.Add(1)
-	pen, times, err := s.compute(g, name, static, ref, topo)
+	pen, times, err := s.compute(ctx, g, name, static, ref, topo, sched)
 	if err != nil {
 		return Result{}, err
 	}
-	s.cache.put(&entry{key: key, g: g, pen: pen, times: times})
+	s.cache.put(&entry{key: key, g: g, sched: sched.Clone(), pen: pen, times: times})
 	return Result{Model: name, RefRate: ref, Penalties: pen, Times: times, Cached: false}, nil
 }
 
-// compute runs the simulator on a pooled worker. The worker is returned
-// to the pool even if the engine panics on a degenerate scheme (a lost
-// worker would shrink the pool until the service deadlocks), and the
-// panic is converted to an errInternal-wrapped error so the HTTP layer
-// answers 500, not 400: an engine panic is the service failing, not the
-// client.
-func (s *Server) compute(g *graph.Graph, name string, static bool, ref float64, topo topology.Spec) (pen, times []float64, err error) {
-	w := <-s.pool
-	defer func() {
-		s.pool <- w
-		if r := recover(); r != nil {
-			err = fmt.Errorf("prediction failed: %v: %w", r, errInternal)
+// compute runs the simulator on a pooled worker under the request
+// context. The simulation itself runs in a goroutine so a wedged or
+// slow engine cannot hold the request past its deadline; the worker
+// goes back to the pool only when the simulation actually finishes (an
+// abandoned slot must not be handed to another request mid-run). An
+// engine panic on a degenerate scheme is converted to an
+// errInternal-wrapped error so the HTTP layer answers 500, not 400: a
+// panic is the service failing, not the client.
+func (s *Server) compute(ctx context.Context, g *graph.Graph, name string, static bool, ref float64, topo topology.Spec, sched fault.Schedule) ([]float64, []float64, error) {
+	var w *worker
+	select {
+	case w = <-s.pool:
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("no prediction worker available: %w", errTimeout)
+	}
+	type outcome struct {
+		pen, times []float64
+		err        error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned run must not leak
+	go func() {
+		var out outcome
+		defer func() {
+			if r := recover(); r != nil {
+				out = outcome{err: fmt.Errorf("prediction failed: %v: %w", r, errInternal)}
+			}
+			ch <- out
+			s.pool <- w
+		}()
+		// Sessions are cached per model only at the substrate's default
+		// reference rate, the trivial topology and the healthy fabric; a
+		// request-supplied ref_rate, fabric or fault schedule gets a
+		// throwaway session so clients cannot grow the per-worker session
+		// map without bound by sweeping rates, topologies or schedules.
+		var sess *predict.Session
+		if ref == s.refs[name] && topo.Trivial() && sched.Empty() {
+			sess = w.session(s.models[name], name, ref)
+		} else if sched.Empty() {
+			sess = predict.NewSessionWithTopology(s.models[name], ref, topo)
+		} else {
+			var err error
+			if sess, err = predict.NewSessionWithFaults(s.models[name], ref, topo, sched); err != nil {
+				out = outcome{err: err}
+				return
+			}
 		}
+		out.pen = sess.StaticPenalties(g)
+		if static {
+			out.times = sess.StaticTimes(g)
+		} else {
+			out.times = sess.Times(g)
+		}
+		out.times = append([]float64(nil), out.times...) // session scratch: copy out
 	}()
-	// Sessions are cached per model only at the substrate's default
-	// reference rate and the trivial topology; a request-supplied
-	// ref_rate or fabric gets a throwaway session so clients cannot grow
-	// the per-worker session map without bound by sweeping rates or
-	// topologies.
-	var sess *predict.Session
-	if ref == s.refs[name] && topo.Trivial() {
-		sess = w.session(s.models[name], name, ref)
-	} else {
-		sess = predict.NewSessionWithTopology(s.models[name], ref, topo)
+	select {
+	case out := <-ch:
+		return out.pen, out.times, out.err
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("simulation exceeded the request deadline: %w", errTimeout)
 	}
-	pen = sess.StaticPenalties(g)
-	if static {
-		times = sess.StaticTimes(g)
-	} else {
-		times = sess.Times(g)
+}
+
+// requestCtx derives the per-prediction deadline from the configured
+// request timeout.
+func (s *Server) requestCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout < 0 {
+		return parent, func() {}
 	}
-	times = append([]float64(nil), times...) // session scratch: copy out
-	return pen, times, nil
+	return context.WithTimeout(parent, s.cfg.RequestTimeout)
 }
 
 // Model returns the registered model for a canonical name (nil if
@@ -288,6 +384,10 @@ type PredictRequest struct {
 	// kind "crossbar" is the paper's single switch. Scheme text with a
 	// 'topology:' header may not also carry this block.
 	Topology *TopologyRequest `json:"topology,omitempty"`
+	// Faults degrade the fabric mid-replay; omitted means healthy.
+	// Scheme text with 'fault:' headers may not also carry this block,
+	// and static predictions (which have no clock) reject faults.
+	Faults []FaultRequest `json:"faults,omitempty"`
 }
 
 // TopologyRequest is the JSON form of a fabric description.
@@ -327,6 +427,62 @@ func (tr *TopologyRequest) spec() (topology.Spec, error) {
 		return topology.Spec{}, err
 	}
 	return spec, nil
+}
+
+// FaultRequest is one scheduled fault in JSON form. Kind selects the
+// family; Switch (link kinds) or Host (host_slow) names the target —
+// pointers, so target 0 is distinguishable from an omitted field.
+type FaultRequest struct {
+	// Kind is "link_down", "link_degrade" or "host_slow".
+	Kind string `json:"kind"`
+	// Switch is the edge-switch index for the link kinds.
+	Switch *int `json:"switch,omitempty"`
+	// Host is the host id for host_slow.
+	Host *int `json:"host,omitempty"`
+	// Factor is the capacity multiplier in [0, 1] (degrade/slow only).
+	Factor float64 `json:"factor,omitempty"`
+	// At is the injection time in simulated seconds; <= 0 folds into the
+	// initial fabric state.
+	At float64 `json:"at"`
+	// Until is the repair time (strictly after At); omitted means the
+	// fault never repairs.
+	Until float64 `json:"until,omitempty"`
+}
+
+// event converts the request form, attributing errors to faults[i].
+// Fabric-dependent checks (does the switch exist?) happen later, once
+// the topology is fully resolved.
+func (fr FaultRequest) event(i int) (fault.Event, error) {
+	var e fault.Event
+	var target *int
+	switch fr.Kind {
+	case "link_down":
+		e.Kind, target = fault.LinkDown, fr.Switch
+	case "link_degrade":
+		e.Kind, target = fault.LinkDegrade, fr.Switch
+	case "host_slow":
+		e.Kind, target = fault.HostSlow, fr.Host
+	default:
+		return fault.Event{}, fmt.Errorf("faults[%d]: unknown kind %q (want link_down, link_degrade or host_slow)", i, fr.Kind)
+	}
+	if e.Kind == fault.HostSlow && fr.Switch != nil {
+		return fault.Event{}, fmt.Errorf("faults[%d]: host_slow takes a host, not a switch", i)
+	}
+	if e.Kind != fault.HostSlow && fr.Host != nil {
+		return fault.Event{}, fmt.Errorf("faults[%d]: %s takes a switch, not a host", i, fr.Kind)
+	}
+	if target == nil {
+		field := "switch"
+		if e.Kind == fault.HostSlow {
+			field = "host"
+		}
+		return fault.Event{}, fmt.Errorf("faults[%d]: %s faults need a %q field", i, fr.Kind, field)
+	}
+	e.Target = *target
+	e.Factor = fr.Factor
+	e.At = fr.At
+	e.Until = fr.Until
+	return e, nil
 }
 
 // CommRequest is one structured communication. An empty Label is
@@ -437,7 +593,9 @@ func (s *Server) handlePredictGet(w http.ResponseWriter, r *http.Request) {
 // (format=text) the exact bwpredict stdout for the same model and flags.
 // Predictions on a fabric additionally carry the per-uplink utilization.
 func (s *Server) servePredict(w http.ResponseWriter, r *http.Request, req PredictRequest) {
-	g, topo, res, err := s.resolveAndPredict(req)
+	ctx, cancel := s.requestCtx(r.Context())
+	defer cancel()
+	g, topo, res, err := s.resolveAndPredict(ctx, req)
 	if err != nil {
 		s.writeError(w, statusFor(err), err.Error())
 		return
@@ -491,7 +649,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchItems.Add(int64(len(req.Requests)))
 	results := make([]any, len(req.Requests))
 	for i, one := range req.Requests {
-		g, topo, res, err := s.resolveAndPredict(one)
+		// Each item gets its own deadline: one slow simulation must not
+		// starve the remainder of the batch of its full budget.
+		ctx, cancel := s.requestCtx(r.Context())
+		g, topo, res, err := s.resolveAndPredict(ctx, one)
+		cancel()
 		if err != nil {
 			code := statusFor(err)
 			s.countError(code)
@@ -503,10 +665,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
-// resolveAndPredict turns a request into a graph plus fabric and runs
-// Predict.
-func (s *Server) resolveAndPredict(req PredictRequest) (*graph.Graph, topology.Spec, Result, error) {
-	g, topo, err := resolveGraph(req)
+// resolveAndPredict turns a request into a graph, fabric and fault
+// schedule and runs Predict.
+func (s *Server) resolveAndPredict(ctx context.Context, req PredictRequest) (*graph.Graph, topology.Spec, Result, error) {
+	g, topo, sched, err := resolveGraph(req)
 	if err != nil {
 		return nil, topo, Result{}, err
 	}
@@ -514,49 +676,80 @@ func (s *Server) resolveAndPredict(req PredictRequest) (*graph.Graph, topology.S
 	if model == "" {
 		model = "gige"
 	}
-	res, err := s.Predict(g, model, req.Static, req.RefRate, topo)
+	res, err := s.Predict(ctx, g, model, req.Static, req.RefRate, topo, sched)
 	if err != nil {
 		return nil, topo, Result{}, err
 	}
 	return g, topo, res, nil
 }
 
-// resolveGraph builds the scheme graph and fabric from exactly one of
-// the three request forms and enforces the service's size limits. The
-// fabric comes from the request's topology block or (scheme text only)
-// a 'topology:' header, but not both.
-func resolveGraph(req PredictRequest) (*graph.Graph, topology.Spec, error) {
-	g, topo, err := resolveGraphForm(req)
+// resolveGraph builds the scheme graph, fabric and fault schedule from
+// exactly one of the three request forms and enforces the service's
+// size limits. The fabric comes from the request's topology block or
+// (scheme text only) a 'topology:' header, but not both; likewise the
+// faults come from the request's faults block or the scheme's 'fault:'
+// headers, but not both. Fabric-dependent fault checks run here, after
+// the topology is final.
+func resolveGraph(req PredictRequest) (*graph.Graph, topology.Spec, fault.Schedule, error) {
+	g, topo, sched, err := resolveGraphForm(req)
 	if err != nil {
-		return nil, topo, err
+		return nil, topo, sched, err
 	}
 	if req.Topology != nil {
 		if !topo.Trivial() {
-			return nil, topo, fmt.Errorf("scheme text already declares topology %q; drop the request's topology block", topo)
+			return nil, topo, sched, fmt.Errorf("scheme text already declares topology %q; drop the request's topology block", topo)
 		}
 		if topo, err = req.Topology.spec(); err != nil {
-			return nil, topo, err
+			return nil, topo, sched, err
+		}
+	}
+	if len(req.Faults) > 0 {
+		if !sched.Empty() {
+			return nil, topo, sched, fmt.Errorf("scheme text already declares fault: headers; drop the request's faults block")
+		}
+		if len(req.Faults) > MaxFaultEvents {
+			return nil, topo, sched, fmt.Errorf("schedule of %d faults exceeds limit %d", len(req.Faults), MaxFaultEvents)
+		}
+		events := make([]fault.Event, len(req.Faults))
+		for i, fr := range req.Faults {
+			if events[i], err = fr.event(i); err != nil {
+				return nil, topo, sched, err
+			}
+		}
+		sched = fault.Schedule{Events: events}
+		// Scheme-header faults were already checked against the scheme's
+		// own topology header at parse time; JSON faults are checked here
+		// against whichever fabric won.
+		for i, e := range sched.Events {
+			if err := fault.CheckEvent(e, topo); err != nil {
+				return nil, topo, sched, fmt.Errorf("faults[%d]: %s", i, err)
+			}
 		}
 	}
 	if g.Len() > MaxComms {
-		return nil, topo, fmt.Errorf("scheme has %d communications, limit %d", g.Len(), MaxComms)
+		return nil, topo, sched, fmt.Errorf("scheme has %d communications, limit %d", g.Len(), MaxComms)
 	}
 	if g.MaxNode() >= MaxNodeID {
-		return nil, topo, fmt.Errorf("node id %d exceeds limit %d", g.MaxNode(), MaxNodeID-1)
+		return nil, topo, sched, fmt.Errorf("node id %d exceeds limit %d", g.MaxNode(), MaxNodeID-1)
 	}
 	if err := topo.CheckFit(g.MaxNode()); err != nil {
-		return nil, topo, err
+		return nil, topo, sched, err
 	}
 	if req.Static && !topo.Trivial() {
 		// The static formulas are the paper's crossbar-level expressions
 		// and cannot see the fabric; answering them under a declared
 		// topology would report link utilizations the times ignore.
-		return nil, topo, fmt.Errorf("static prediction is crossbar-only; drop static or the topology")
+		return nil, topo, sched, fmt.Errorf("static prediction is crossbar-only; drop static or the topology")
 	}
-	return g, topo, nil
+	if req.Static && !sched.Empty() {
+		// Same mismatch: the static formulas have no clock for a fault
+		// schedule to tick against.
+		return nil, topo, sched, fmt.Errorf("static prediction cannot model faults; drop static or the faults")
+	}
+	return g, topo, sched, nil
 }
 
-func resolveGraphForm(req PredictRequest) (*graph.Graph, topology.Spec, error) {
+func resolveGraphForm(req PredictRequest) (*graph.Graph, topology.Spec, fault.Schedule, error) {
 	set := 0
 	if req.Name != "" {
 		set++
@@ -568,17 +761,17 @@ func resolveGraphForm(req PredictRequest) (*graph.Graph, topology.Spec, error) {
 		set++
 	}
 	if set != 1 {
-		return nil, topology.Spec{}, fmt.Errorf("exactly one of name, scheme or comms must be given")
+		return nil, topology.Spec{}, fault.Schedule{}, fmt.Errorf("exactly one of name, scheme or comms must be given")
 	}
 	switch {
 	case req.Name != "":
 		g, ok := schemes.Named(req.Name)
 		if !ok {
-			return nil, topology.Spec{}, fmt.Errorf("unknown scheme %q (see /v1/schemes)", req.Name)
+			return nil, topology.Spec{}, fault.Schedule{}, fmt.Errorf("unknown scheme %q (see /v1/schemes)", req.Name)
 		}
-		return g, topology.Spec{}, nil
+		return g, topology.Spec{}, fault.Schedule{}, nil
 	case req.Scheme != "":
-		return schemelang.ParseWithTopology(req.Scheme)
+		return schemelang.ParseFull(req.Scheme)
 	default:
 		b := graph.NewBuilder()
 		for i, c := range req.Comms {
@@ -593,7 +786,7 @@ func resolveGraphForm(req PredictRequest) (*graph.Graph, topology.Spec, error) {
 			b.Add(label, graph.NodeID(c.Src), graph.NodeID(c.Dst), vol)
 		}
 		g, err := b.Build()
-		return g, topology.Spec{}, err
+		return g, topology.Spec{}, fault.Schedule{}, err
 	}
 }
 

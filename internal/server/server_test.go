@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/predict"
 	"bwshare/internal/report"
@@ -152,7 +154,7 @@ func TestPredictTextFormat(t *testing.T) {
 		t.Fatalf("status %d: %s", code, body)
 	}
 	g, _ := schemes.Named("mk2")
-	res, err := s.Predict(g, "myrinet", false, 0, topology.Spec{})
+	res, err := s.Predict(context.Background(), g, "myrinet", false, 0, topology.Spec{}, fault.Schedule{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +173,11 @@ func TestPredictTextFormat(t *testing.T) {
 func TestStaticAndRefRateKeyTheCache(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: 8})
 	g, _ := schemes.Named("s4")
-	prog, err := s.Predict(g, "gige", false, 0, topology.Spec{})
+	prog, err := s.Predict(context.Background(), g, "gige", false, 0, topology.Spec{}, fault.Schedule{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := s.Predict(g, "gige", true, 0, topology.Spec{})
+	static, err := s.Predict(context.Background(), g, "gige", true, 0, topology.Spec{}, fault.Schedule{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,14 +187,14 @@ func TestStaticAndRefRateKeyTheCache(t *testing.T) {
 	if fmt.Sprint(prog.Times) == fmt.Sprint(static.Times) {
 		t.Error("static and progressive times should differ on s4")
 	}
-	other, err := s.Predict(g, "gige", false, 2*prog.RefRate, topology.Spec{})
+	other, err := s.Predict(context.Background(), g, "gige", false, 2*prog.RefRate, topology.Spec{}, fault.Schedule{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if other.Cached {
 		t.Error("different ref rate must not hit the default-rate entry")
 	}
-	if again, _ := s.Predict(g, "gige", false, 0, topology.Spec{}); !again.Cached {
+	if again, _ := s.Predict(context.Background(), g, "gige", false, 0, topology.Spec{}, fault.Schedule{}); !again.Cached {
 		t.Error("original request should still hit")
 	}
 }
@@ -302,13 +304,13 @@ func TestSchemeLimits(t *testing.T) {
 	for i := range comms {
 		comms[i] = CommRequest{Src: 0, Dst: i + 1}
 	}
-	if _, _, err := resolveGraph(PredictRequest{Comms: comms}); err == nil {
+	if _, _, _, err := resolveGraph(PredictRequest{Comms: comms}); err == nil {
 		t.Error("oversized scheme should be rejected")
 	}
-	if _, _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID}}}); err == nil {
+	if _, _, _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID}}}); err == nil {
 		t.Error("out-of-range node id should be rejected")
 	}
-	if _, _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID - 1}}}); err != nil {
+	if _, _, _, err := resolveGraph(PredictRequest{Comms: []CommRequest{{Src: 0, Dst: MaxNodeID - 1}}}); err != nil {
 		t.Errorf("maximal node id should be accepted: %v", err)
 	}
 }
@@ -381,14 +383,14 @@ func TestLRUEviction(t *testing.T) {
 	g3, k3 := mk("abc")
 	c.put(&entry{key: k1, g: g1})
 	c.put(&entry{key: k2, g: g2})
-	if c.get(k1, g1) == nil {
+	if c.get(k1, g1, fault.Schedule{}) == nil {
 		t.Fatal("k1 should be resident")
 	}
 	c.put(&entry{key: k3, g: g3}) // evicts k2 (least recently used)
-	if c.get(k2, g2) != nil {
+	if c.get(k2, g2, fault.Schedule{}) != nil {
 		t.Error("k2 should have been evicted")
 	}
-	if c.get(k1, g1) == nil || c.get(k3, g3) == nil {
+	if c.get(k1, g1, fault.Schedule{}) == nil || c.get(k3, g3, fault.Schedule{}) == nil {
 		t.Error("k1 and k3 should be resident")
 	}
 	if c.len() != 2 {
@@ -396,7 +398,7 @@ func TestLRUEviction(t *testing.T) {
 	}
 	// A hash collision with a different graph must not be served.
 	other := graph.NewBuilder().Add("z", 5, 6, 2e6).MustBuild()
-	if c.get(k1, other) != nil {
+	if c.get(k1, other, fault.Schedule{}) != nil {
 		t.Error("collision with different graph served from cache")
 	}
 }
@@ -405,7 +407,7 @@ func TestDisabledCache(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: -1})
 	g, _ := schemes.Named("s2")
 	for i := 0; i < 2; i++ {
-		res, err := s.Predict(g, "gige", false, 0, topology.Spec{})
+		res, err := s.Predict(context.Background(), g, "gige", false, 0, topology.Spec{}, fault.Schedule{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -420,11 +422,11 @@ func TestDisabledCache(t *testing.T) {
 func TestPredictZeroAllocOnHit(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: 16})
 	g, _ := schemes.Named("s6")
-	if _, err := s.Predict(g, "gige", false, 0, topology.Spec{}); err != nil {
+	if _, err := s.Predict(context.Background(), g, "gige", false, 0, topology.Spec{}, fault.Schedule{}); err != nil {
 		t.Fatal(err)
 	}
 	n := testing.AllocsPerRun(1000, func() {
-		res, err := s.Predict(g, "gige", false, 0, topology.Spec{})
+		res, err := s.Predict(context.Background(), g, "gige", false, 0, topology.Spec{}, fault.Schedule{})
 		if err != nil || !res.Cached {
 			t.Fatal("expected a cache hit")
 		}

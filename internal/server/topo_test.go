@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"bwshare/internal/fault"
 	"bwshare/internal/graph"
 	"bwshare/internal/report"
 	"bwshare/internal/schemes"
@@ -96,7 +98,7 @@ func TestTopologyKeysCache(t *testing.T) {
 	ft := topology.Spec{Kind: topology.FatTree, Switches: 2, HostsPerSwitch: 4, Oversub: 4, Place: topology.Block}
 	star := topology.Spec{Kind: topology.Star, Switches: 2, HostsPerSwitch: 4, Place: topology.Block}
 	for i, topo := range []topology.Spec{{}, ft, star} {
-		res, err := s.Predict(g, "gige", false, 0, topo)
+		res, err := s.Predict(context.Background(), g, "gige", false, 0, topo, fault.Schedule{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +107,7 @@ func TestTopologyKeysCache(t *testing.T) {
 		}
 	}
 	for i, topo := range []topology.Spec{{}, ft, star} {
-		res, err := s.Predict(g, "gige", false, 0, topo)
+		res, err := s.Predict(context.Background(), g, "gige", false, 0, topo, fault.Schedule{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,11 +188,11 @@ func TestRefRateValidation(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: 8})
 	g, _ := schemes.Named("s1")
 	for _, ref := range []float64{-1, math.Inf(1), math.Inf(-1), math.NaN()} {
-		if _, err := s.Predict(g, "gige", false, ref, topology.Spec{}); err == nil {
+		if _, err := s.Predict(context.Background(), g, "gige", false, ref, topology.Spec{}, fault.Schedule{}); err == nil {
 			t.Errorf("Predict accepted ref rate %g", ref)
 		}
 	}
-	if _, err := s.Predict(g, "gige", false, 1e6, topology.Spec{}); err != nil {
+	if _, err := s.Predict(context.Background(), g, "gige", false, 1e6, topology.Spec{}, fault.Schedule{}); err != nil {
 		t.Errorf("positive finite ref rejected: %v", err)
 	}
 	code, body := postJSON(t, ts.URL+"/v1/predict", PredictRequest{Name: "s1", RefRate: -5})
@@ -212,10 +214,10 @@ func TestCacheCollisionKeepsResident(t *testing.T) {
 	penB := []float64{9}
 	c.put(&entry{key: key, g: gA, pen: penA})
 	c.put(&entry{key: key, g: gB, pen: penB}) // collision: must not evict gA
-	if e := c.get(key, gA); e == nil || &e.pen[0] != &penA[0] {
+	if e := c.get(key, gA, fault.Schedule{}); e == nil || &e.pen[0] != &penA[0] {
 		t.Fatal("resident entry lost to a colliding newcomer")
 	}
-	if e := c.get(key, gB); e != nil {
+	if e := c.get(key, gB, fault.Schedule{}); e != nil {
 		t.Fatal("collision served the wrong graph's entry")
 	}
 	// Alternating colliding puts stay deterministic: gA remains.
@@ -223,7 +225,7 @@ func TestCacheCollisionKeepsResident(t *testing.T) {
 		c.put(&entry{key: key, g: gB, pen: penB})
 		c.put(&entry{key: key, g: gA, pen: penA})
 	}
-	if e := c.get(key, gA); e == nil || &e.pen[0] != &penA[0] {
+	if e := c.get(key, gA, fault.Schedule{}); e == nil || &e.pen[0] != &penA[0] {
 		t.Fatal("resident entry churned under alternating collisions")
 	}
 	if c.len() != 1 {
@@ -232,7 +234,7 @@ func TestCacheCollisionKeepsResident(t *testing.T) {
 	// A same-graph re-put (recomputed identical values) still refreshes.
 	penA2 := []float64{1}
 	c.put(&entry{key: key, g: gA, pen: penA2})
-	if e := c.get(key, gA); e == nil || &e.pen[0] != &penA2[0] {
+	if e := c.get(key, gA, fault.Schedule{}); e == nil || &e.pen[0] != &penA2[0] {
 		t.Fatal("same-graph re-put did not refresh the entry")
 	}
 }

@@ -7,6 +7,9 @@
 # flow churn end to end, and runs a cluster lifecycle pass (create,
 # admit, rank placements, evict, delete) whose concatenated responses
 # must match scripts/testdata/cluster_smoke.golden byte for byte.
+# A fault-injected prediction (degraded + failing uplinks) is replayed
+# the same way against scripts/testdata/fault_smoke.golden, via both
+# bwpredict fault: headers and the server's faults block.
 # Used by `make smoke` and the CI smoke job.
 set -eu
 
@@ -98,7 +101,37 @@ if ! cmp -s "$golden" "$bin/cluster.txt"; then
 	fail=1
 fi
 
+# Fault-injected replay: the same degraded fabric described two ways —
+# fault: headers in a bwpredict scheme file, and the equivalent faults
+# block in a POST body — must both render the committed golden, and the
+# second server pass must serve it from the faulted-entry cache path.
+fgolden="$(dirname "$0")/testdata/fault_smoke.golden"
+cat >"$bin/faulted.txt" <<'EOF'
+topology: fattree 2x4 oversub 4
+fault: link 0 degrade 0.25 at 0
+fault: link 1 down at 0.05 until 0.1
+a: 0 -> 4 20MB
+b: 1 -> 5 20MB
+c: 2 -> 6 20MB
+d: 3 -> 7 20MB
+EOF
+"$bin/bwpredict" -model gige -file "$bin/faulted.txt" >"$bin/fault_got.txt"
+if ! cmp -s "$fgolden" "$bin/fault_got.txt"; then
+	echo "smoke: bwpredict fault replay differs from $fgolden:" >&2
+	diff "$fgolden" "$bin/fault_got.txt" >&2 || true
+	fail=1
+fi
+fbody='{"model":"gige","scheme":"a: 0 -> 4 20MB\nb: 1 -> 5 20MB\nc: 2 -> 6 20MB\nd: 3 -> 7 20MB\n","topology":{"kind":"fattree","switches":2,"hosts_per_switch":4,"oversub":4},"faults":[{"kind":"link_degrade","switch":0,"factor":0.25,"at":0},{"kind":"link_down","switch":1,"at":0.05,"until":0.1}]}'
+for pass in uncached cached; do
+	curl -sf -X POST "$base/v1/predict?format=text" -d "$fbody" >"$bin/fault_got.txt"
+	if ! cmp -s "$fgolden" "$bin/fault_got.txt"; then
+		echo "smoke: fault-injected prediction ($pass) differs from $fgolden:" >&2
+		diff "$fgolden" "$bin/fault_got.txt" >&2 || true
+		fail=1
+	fi
+done
+
 if [ "$fail" -eq 0 ]; then
-	echo "smoke: bwserved responses byte-identical to bwpredict (cache hits: $hits); cluster lifecycle matches golden"
+	echo "smoke: bwserved responses byte-identical to bwpredict (cache hits: $hits); cluster and fault replays match goldens"
 fi
 exit "$fail"
