@@ -1,11 +1,12 @@
 # Tier-1 verification and development targets. `make verify` is the
 # canonical local gate and mirrors the CI pipeline: format + vet gates,
 # build, tests, targeted race tests and the bwserved/bwpredict smoke
-# diff. `make ci` additionally runs the bench-regression check (a
-# separate CI job, kept out of verify because benchmarks take ~20s).
+# diff. `make ci` additionally runs the bench-regression check and the
+# service-level load + replay gates (separate CI jobs, kept out of
+# verify because benchmarks take ~20s).
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-check fmt vet serve smoke verify ci
+.PHONY: build test race bench bench-json bench-check fmt vet serve smoke load-smoke replay-check verify ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +54,19 @@ serve:
 smoke:
 	sh scripts/smoke.sh
 
+# load-smoke starts bwserved (pinned sizing) and drives a short
+# fixed-seed mixed workload with bwload; any failed request fails the
+# run. ARTIFACT_DIR=<dir> keeps the latency log and report.
+load-smoke:
+	sh scripts/load_smoke.sh
+
+# replay-check replays the committed deterministic traffic log
+# scripts/testdata/load_replay.golden against a fresh bwserved and fails
+# on any behavioral divergence. After an intended behavior change,
+# re-record with `sh scripts/replay_check.sh record`.
+replay-check:
+	sh scripts/replay_check.sh
+
 verify: fmt vet build test race smoke
 
-ci: verify bench-check
+ci: verify bench-check load-smoke replay-check

@@ -92,7 +92,7 @@ func TestCompareResults(t *testing.T) {
 		{Name: "b", NsPerOp: 90, AllocsPerOp: 7},  // faster; alloc increase on a non-zero-alloc suite is tolerated
 		{Name: "new", NsPerOp: 1, AllocsPerOp: 9}, // no baseline
 	}
-	lines, slow, failures := compareResults(cur, base, 25)
+	lines, slow, failures := compareResults(cur, base, 25, 50)
 	if len(failures) != 0 || len(slow) != 0 {
 		t.Fatalf("unexpected failures: %v (slow %v)", failures, slow)
 	}
@@ -102,7 +102,7 @@ func TestCompareResults(t *testing.T) {
 
 	cur[0].NsPerOp = 126 // +26%: over threshold
 	cur[1].AllocsPerOp = 5
-	_, slow, failures = compareResults(cur, base, 25)
+	_, slow, failures = compareResults(cur, base, 25, 50)
 	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op +26.0%") {
 		t.Fatalf("failures = %v", failures)
 	}
@@ -112,7 +112,7 @@ func TestCompareResults(t *testing.T) {
 
 	cur[0].NsPerOp = 100
 	cur[0].AllocsPerOp = 1 // alloc regression on a zero-alloc suite
-	_, slow, failures = compareResults(cur, base, 25)
+	_, slow, failures = compareResults(cur, base, 25, 50)
 	if len(failures) != 1 || !strings.Contains(failures[0], "zero-alloc") {
 		t.Fatalf("failures = %v", failures)
 	}
@@ -133,7 +133,7 @@ func TestCompareResultsMissingFromRun(t *testing.T) {
 	cur := []benchsuite.Result{
 		{Name: "kept", NsPerOp: 100, AllocsPerOp: 0},
 	}
-	lines, slow, failures := compareResults(cur, base, 25)
+	lines, slow, failures := compareResults(cur, base, 25, 50)
 	if len(failures) != 1 || !strings.Contains(failures[0], "gone") || !strings.Contains(failures[0], "missing") {
 		t.Fatalf("failures = %v, want one missing-benchmark failure", failures)
 	}
@@ -151,7 +151,7 @@ func TestCompareResultsMissingFromRun(t *testing.T) {
 	}
 }
 
-func TestTakeMinAndNameFilter(t *testing.T) {
+func TestTakeBestAndNameFilter(t *testing.T) {
 	results := []benchsuite.Result{
 		{Name: "a", NsPerOp: 200},
 		{Name: "b", NsPerOp: 100},
@@ -160,9 +160,9 @@ func TestTakeMinAndNameFilter(t *testing.T) {
 		{Name: "a", NsPerOp: 150},
 		{Name: "b", NsPerOp: 300},
 	}
-	out := takeMin(results, rerun)
+	out := takeBest(results, rerun)
 	if out[0].NsPerOp != 150 || out[1].NsPerOp != 100 {
-		t.Errorf("takeMin = %v", out)
+		t.Errorf("takeBest = %v", out)
 	}
 	re := nameFilter([]string{"WaterFill/opt/32", "a+b"})
 	if !re.MatchString("WaterFill/opt/32") || !re.MatchString("a+b") {
@@ -170,6 +170,108 @@ func TestTakeMinAndNameFilter(t *testing.T) {
 	}
 	if re.MatchString("WaterFill/opt/322") || re.MatchString("aab") {
 		t.Error("nameFilter must not match other names")
+	}
+}
+
+// TestCompareLoadSLO: service-level entries are gated on throughput
+// floor and p99 ceiling, not ns/op or allocations.
+func TestCompareLoadSLO(t *testing.T) {
+	base := []benchsuite.Result{
+		{Name: "Load/mixed/c4", N: 100, NsPerOp: 1e6, ThroughputRPS: 1000, P50Ns: 5e5, P95Ns: 2e6, P99Ns: 4e6},
+	}
+	ok := []benchsuite.Result{
+		// Throughput -40%, p99 +40%: inside a 50% SLO band. Allocations
+		// and ns/op blowups on load entries are irrelevant.
+		{Name: "Load/mixed/c4", N: 100, NsPerOp: 9e9, AllocsPerOp: 999, ThroughputRPS: 600, P50Ns: 5e5, P95Ns: 2e6, P99Ns: 5.6e6},
+	}
+	lines, slow, failures := compareResults(ok, base, 25, 50)
+	if len(failures) != 0 || len(slow) != 0 {
+		t.Fatalf("within-SLO load entry failed: %v (slow %v)", failures, slow)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "req/s") {
+		t.Fatalf("load line should report req/s and p99: %v", lines)
+	}
+
+	slowTput := []benchsuite.Result{
+		{Name: "Load/mixed/c4", N: 100, NsPerOp: 1e6, ThroughputRPS: 400, P99Ns: 4e6},
+	}
+	_, slow, failures = compareResults(slowTput, base, 25, 50)
+	if len(failures) != 1 || !strings.Contains(failures[0], "throughput") {
+		t.Fatalf("throughput drop of 60%% must fail the 50%% floor: %v", failures)
+	}
+	if len(slow) != 1 {
+		t.Fatalf("throughput failures are retryable, slow = %v", slow)
+	}
+
+	blownP99 := []benchsuite.Result{
+		{Name: "Load/mixed/c4", N: 100, NsPerOp: 1e6, ThroughputRPS: 1000, P99Ns: 6.1e6},
+	}
+	_, slow, failures = compareResults(blownP99, base, 25, 50)
+	if len(failures) != 1 || !strings.Contains(failures[0], "p99") {
+		t.Fatalf("p99 blowout of +52%% must fail the 50%% ceiling: %v", failures)
+	}
+	if len(slow) != 1 {
+		t.Fatalf("p99 failures are retryable, slow = %v", slow)
+	}
+}
+
+// TestTakeBestLoadEntries: retries fold field-wise best measurements
+// for load entries (max throughput, min percentiles).
+func TestTakeBestLoadEntries(t *testing.T) {
+	results := []benchsuite.Result{
+		{Name: "Load/x", NsPerOp: 100, ThroughputRPS: 500, P50Ns: 10, P95Ns: 20, P99Ns: 30},
+	}
+	rerun := []benchsuite.Result{
+		{Name: "Load/x", NsPerOp: 120, ThroughputRPS: 700, P50Ns: 15, P95Ns: 18, P99Ns: 25},
+	}
+	out := takeBest(results, rerun)
+	got := out[0]
+	if got.ThroughputRPS != 700 || got.NsPerOp != 100 || got.P50Ns != 10 || got.P95Ns != 18 || got.P99Ns != 25 {
+		t.Errorf("takeBest load merge = %+v", got)
+	}
+}
+
+// TestBaselineValidation: a missing, malformed, wrong-schema or
+// empty-in-scope baseline is a loud error, never a silent pass.
+func TestBaselineValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	var out bytes.Buffer
+	if _, err := loadBaseline(filepath.Join(dir, "absent.json"), nil, true, &out); err == nil {
+		t.Error("missing baseline should error")
+	}
+	if _, err := loadBaseline(write("bad.json", "not json"), nil, true, &out); err == nil {
+		t.Error("malformed baseline should error")
+	}
+	if _, err := loadBaseline(write("schema.json", `{"schema":"other/v9","benchmarks":[{"name":"a"}]}`), nil, true, &out); err == nil {
+		t.Error("wrong schema should error")
+	}
+	if _, err := loadBaseline(write("empty.json", `{"schema":"bwshare-bench/v1","benchmarks":[]}`), nil, true, &out); err == nil {
+		t.Error("baseline with nothing in scope should error")
+	}
+	// Load entries drop out of scope under -load=false; if that empties
+	// the baseline, the gate must refuse to run.
+	loadOnly := `{"schema":"bwshare-bench/v1","benchmarks":[{"name":"Load/mixed/c4","throughput_rps":100,"p99_ns":1}]}`
+	if _, err := loadBaseline(write("loadonly.json", loadOnly), nil, false, &out); err == nil {
+		t.Error("load-only baseline with -load=false should error")
+	}
+	out.Reset()
+	good := `{"schema":"bwshare-bench/v1","pr":7,"benchmarks":[{"name":"a","ns_per_op":1}]}`
+	base, err := loadBaseline(write("good.json", good), nil, true, &out)
+	if err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	if len(base.Benchmarks) != 1 {
+		t.Errorf("baseline kept %d benchmarks, want 1", len(base.Benchmarks))
+	}
+	if !strings.Contains(out.String(), "good.json") || !strings.Contains(out.String(), "PR 7") {
+		t.Errorf("check header must name the baseline file and PR:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,217 @@
+// Command bwload is the service-level load harness and deterministic
+// capture/replay client for bwserved (internal/loadgen).
+//
+// Load mode (default) drives a seeded mixed workload — cache-hit and
+// cache-miss predictions, fat-tree and faulted simulations, batches,
+// text renderings, cluster lifecycles — at a configurable concurrency
+// and prints per-class throughput and p50/p95/p99 latency:
+//
+//	bwload -base http://127.0.0.1:8080 -concurrency 8 -duration 10s
+//	bwload -base ... -requests 500 -seed 2 -mix 'predict-hit=4,predict-miss=2'
+//	bwload -base ... -latency-log lat.jsonl -report report.json
+//
+// Load mode exits nonzero if any request failed (non-2xx or transport
+// error), so a short pass doubles as an SLO sanity gate in CI; the real
+// trend gate is bwbench -check over the service-level entries in
+// BENCH_<n>.json.
+//
+// Record mode captures a canonical traffic log: the seeded stream is
+// issued sequentially against a FRESH server and every request is
+// logged with its response's status and canonical-body fingerprint
+// (JSON re-marshaled with sorted keys, so formatting never counts as
+// behavior):
+//
+//	bwload -base ... -record scripts/testdata/load_replay.golden -requests 40 -seed 1
+//
+// Replay mode re-issues a recorded log in order — time-compressed by
+// default, or paced with -pace — against a fresh server of a new build
+// and fails on behavioral divergence, printing the first diverging
+// request as a repro:
+//
+//	bwload -base ... -replay scripts/testdata/load_replay.golden
+//
+// Both sides of a capture must run against a fresh server with the same
+// pinned -workers/-cache flags (see scripts/replay_check.sh).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bwshare/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bwload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	base := fs.String("base", "http://127.0.0.1:8080", "bwserved base URL")
+	concurrency := fs.Int("concurrency", 4, "concurrent client workers (load mode)")
+	duration := fs.Duration("duration", 5*time.Second, "load duration (ignored when -requests is set)")
+	requests := fs.Int("requests", 0, "fixed op count instead of a duration (required for -record)")
+	seed := fs.Int64("seed", 1, "workload seed; fixes every worker's request stream")
+	mixFlag := fs.String("mix", "", "request-class weights, e.g. 'predict-hit=4,predict-miss=2,cluster=1' (default loadgen.DefaultMix)")
+	latencyLog := fs.String("latency-log", "", "write per-request latency samples (JSONL) here")
+	reportPath := fs.String("report", "", "write the aggregated report (JSON) here")
+	allowErrors := fs.Bool("allow-errors", false, "don't fail the run on non-2xx answers")
+	record := fs.String("record", "", "capture mode: write a canonical traffic log to this path")
+	replay := fs.String("replay", "", "replay mode: re-issue this traffic log and fail on divergence")
+	pace := fs.Float64("pace", 0, "replay pacing: re-issue at recorded offsets divided by this factor (0 = time-compressed)")
+	maxDiv := fs.Int("max-divergences", 8, "stop a replay after this many divergences (0 = report all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *record != "" && *replay != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	var mix loadgen.Mix
+	if *mixFlag != "" {
+		var err error
+		if mix, err = loadgen.ParseMix(*mixFlag); err != nil {
+			return err
+		}
+	}
+	switch {
+	case *record != "":
+		return runRecord(out, *base, *record, *requests, *seed, mix)
+	case *replay != "":
+		return runReplay(out, *base, *replay, *pace, *maxDiv)
+	default:
+		return runLoad(out, loadConfig{
+			base: *base, concurrency: *concurrency, duration: *duration,
+			requests: *requests, seed: *seed, mix: mix,
+			latencyLog: *latencyLog, reportPath: *reportPath, allowErrors: *allowErrors,
+		})
+	}
+}
+
+type loadConfig struct {
+	base        string
+	concurrency int
+	duration    time.Duration
+	requests    int
+	seed        int64
+	mix         loadgen.Mix
+	latencyLog  string
+	reportPath  string
+	allowErrors bool
+}
+
+func runLoad(out io.Writer, c loadConfig) error {
+	cfg := loadgen.Config{
+		BaseURL:     c.base,
+		Concurrency: c.concurrency,
+		Seed:        c.seed,
+		Mix:         c.mix,
+	}
+	if c.requests > 0 {
+		cfg.Ops = c.requests
+	} else {
+		cfg.Duration = c.duration
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	rep := loadgen.BuildReport(res)
+	rep.Text(out)
+	if c.latencyLog != "" {
+		if err := writeFileWith(c.latencyLog, func(w io.Writer) error {
+			return loadgen.WriteLatencyLog(w, res)
+		}); err != nil {
+			return fmt.Errorf("latency log: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d samples)\n", c.latencyLog, len(res.Samples))
+	}
+	if c.reportPath != "" {
+		if err := writeFileWith(c.reportPath, func(w io.Writer) error {
+			return writeJSON(w, rep)
+		}); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", c.reportPath)
+	}
+	if rep.Overall.Errors > 0 && !c.allowErrors {
+		return fmt.Errorf("%d of %d requests failed (rerun with -allow-errors to tolerate)",
+			rep.Overall.Errors, rep.Overall.Count)
+	}
+	return nil
+}
+
+func runRecord(out io.Writer, base, path string, requests int, seed int64, mix loadgen.Mix) error {
+	if requests <= 0 {
+		return fmt.Errorf("-record needs -requests: a deterministic capture has a fixed length, not a duration")
+	}
+	entries, err := loadgen.Record(loadgen.Config{BaseURL: base, Ops: requests, Seed: seed, Mix: mix})
+	if err != nil {
+		return err
+	}
+	if err := writeFileWith(path, func(w io.Writer) error {
+		return loadgen.WriteLog(w, entries)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d requests (%d ops, seed %d) to %s\n", len(entries), requests, seed, path)
+	return nil
+}
+
+func runReplay(out io.Writer, base, path string, pace float64, maxDiv int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	entries, err := loadgen.ReadLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	res, err := loadgen.Replay(loadgen.ReplayConfig{
+		BaseURL: base, Pace: pace, MaxDivergences: maxDiv,
+	}, entries)
+	if err != nil {
+		return err
+	}
+	if n := len(res.Divergences); n > 0 {
+		fmt.Fprintf(out, "replay of %s: %d of %d replayed requests DIVERGED\n", path, n, res.Total)
+		fmt.Fprintf(out, "first divergence (repro):\n%s", res.Divergences[0])
+		if n > 1 {
+			fmt.Fprintf(out, "(%d further divergences follow the first; fix or re-record the golden)\n", n-1)
+		}
+		return fmt.Errorf("behavioral divergence against %s", path)
+	}
+	fmt.Fprintf(out, "replay of %s: %d requests, zero divergences\n", path, res.Total)
+	return nil
+}
+
+// writeFileWith writes a file through a callback, propagating both the
+// callback's and Close's errors.
+func writeFileWith(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

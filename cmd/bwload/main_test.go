@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bwshare/internal/loadgen"
+	"bwshare/internal/server"
+)
+
+func freshServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{Workers: 2, CacheSize: 256}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadMode: a fixed-request load pass against an in-process
+// bwserved succeeds, prints the per-class table and writes both the
+// latency log and the JSON report.
+func TestLoadMode(t *testing.T) {
+	ts := freshServer(t)
+	dir := t.TempDir()
+	lat := filepath.Join(dir, "lat.jsonl")
+	rep := filepath.Join(dir, "report.json")
+	var out strings.Builder
+	err := run([]string{
+		"-base", ts.URL, "-concurrency", "2", "-requests", "30", "-seed", "2",
+		"-latency-log", lat, "-report", rep,
+	}, &out)
+	if err != nil {
+		t.Fatalf("load mode failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"class", "p99", "predict-hit"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report loadgen.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Overall.Count < 30 || report.Overall.Errors != 0 {
+		t.Errorf("report overall = %+v", report.Overall)
+	}
+	if fi, err := os.Stat(lat); err != nil || fi.Size() == 0 {
+		t.Errorf("latency log missing or empty: %v", err)
+	}
+}
+
+// TestLoadModeFailsOnErrors: load mode is an SLO sanity gate — any
+// failed request fails the run unless -allow-errors.
+func TestLoadModeFailsOnErrors(t *testing.T) {
+	ts := freshServer(t)
+	args := []string{
+		"-base", ts.URL, "-requests", "5", "-seed", "1", "-mix", "bad-request=1",
+	}
+	var out strings.Builder
+	if err := run(args, &out); err == nil {
+		t.Error("load over bad-request mix should fail without -allow-errors")
+	}
+	out.Reset()
+	if err := run(append(args, "-allow-errors"), &out); err != nil {
+		t.Errorf("-allow-errors should tolerate 4xx answers: %v", err)
+	}
+}
+
+// TestRecordReplayRoundTrip: record against a fresh server, replay
+// against another fresh server of the same build — zero divergences;
+// then replay against a perturbed server and require the divergence
+// repro on stdout.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "traffic.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-base", freshServer(t).URL, "-record", log, "-requests", "20", "-seed", "4"}, &out); err != nil {
+		t.Fatalf("record failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "recorded") {
+		t.Errorf("record output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-base", freshServer(t).URL, "-replay", log}, &out); err != nil {
+		t.Fatalf("same-build replay diverged: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "zero divergences") {
+		t.Errorf("replay output: %s", out.String())
+	}
+
+	srv := server.New(server.Config{Workers: 2, CacheSize: 256})
+	perturbed := httptest.NewServer(loadgen.PerturbNth(srv.Handler(), 3))
+	defer perturbed.Close()
+	out.Reset()
+	if err := run([]string{"-base", perturbed.URL, "-replay", log}, &out); err == nil {
+		t.Fatalf("perturbed replay should fail:\n%s", out.String())
+	}
+	for _, want := range []string{"DIVERGED", "first divergence", "seq 2", "fingerprint"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("divergence repro missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-record", "x", "-replay", "y"}, &out); err == nil {
+		t.Error("-record with -replay should fail")
+	}
+	if err := run([]string{"-record", "x"}, &out); err == nil {
+		t.Error("-record without -requests should fail")
+	}
+	if err := run([]string{"-mix", "bogus=1"}, &out); err == nil {
+		t.Error("unknown mix class should fail")
+	}
+	if err := run([]string{"-replay", filepath.Join(t.TempDir(), "absent.jsonl")}, &out); err == nil {
+		t.Error("replay of a missing log should fail")
+	}
+}

@@ -39,13 +39,23 @@ type Benchmark struct {
 }
 
 // Result is the measured outcome of one benchmark, the unit of the
-// BENCH_<n>.json trajectory files.
+// BENCH_<n>.json trajectory files. Function-level entries fill the
+// ns/op and allocation fields; service-level load entries (loadbench.go)
+// additionally carry throughput and latency percentiles — a non-zero
+// ThroughputRPS marks an entry as service-level, and bwbench -check
+// gates it on throughput and p99 instead of ns/op and allocs.
 type Result struct {
 	Name        string  `json:"name"`
 	N           int     `json:"n"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Service-level fields (load entries only).
+	ThroughputRPS float64 `json:"throughput_rps,omitempty"`
+	P50Ns         float64 `json:"p50_ns,omitempty"`
+	P95Ns         float64 `json:"p95_ns,omitempty"`
+	P99Ns         float64 `json:"p99_ns,omitempty"`
 }
 
 // benchSeed fixes the random scheme used by the allocator benchmarks.

@@ -1,0 +1,107 @@
+// Service-level load entries of the bench trajectory: each scenario
+// drives internal/loadgen's seeded workload against an in-process
+// bwserved over real HTTP and reports throughput and latency
+// percentiles into BENCH_<n>.json, where bwbench -check holds them to
+// the SLO gates (throughput floor, p99 ceiling). These are the
+// service-scale counterpart of the function-level suite: they measure
+// the whole serving path — routing, JSON, worker pool, cache, fleet —
+// under concurrent mixed traffic, not one function in a loop.
+package benchsuite
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+
+	"bwshare/internal/loadgen"
+	"bwshare/internal/server"
+)
+
+// LoadBenchmark is one service-level load scenario: a request-class mix
+// driven for a fixed op count at a fixed concurrency (fixed counts, not
+// durations, so runtime is bounded and the workload shape is identical
+// on every machine).
+type LoadBenchmark struct {
+	Name        string
+	Mix         loadgen.Mix // nil = loadgen.DefaultMix
+	Ops         int
+	Concurrency int
+}
+
+// loadSeed fixes every scenario's request streams.
+const loadSeed = 1
+
+// loadServerConfig pins the in-process bwserved the scenarios run
+// against; changing it rebaselines every Load/ entry.
+var loadServerConfig = server.Config{Workers: 4, CacheSize: 512}
+
+// LoadSuite returns the canonical service-level scenarios.
+func LoadSuite() []LoadBenchmark {
+	return []LoadBenchmark{
+		// The full mixed workload: the headline service-level number.
+		{Name: "Load/mixed/c4", Mix: nil, Ops: 160, Concurrency: 4},
+		// Cache-hit predictions alone: the serving floor (routing + JSON
+		// + LRU hit), no simulation on the hot path after warmup.
+		{Name: "Load/predict-hit/c4", Mix: loadgen.Mix{loadgen.ClassHit: 1}, Ops: 200, Concurrency: 4},
+		// Cache-miss predictions alone: every request simulates.
+		{Name: "Load/predict-miss/c4", Mix: loadgen.Mix{loadgen.ClassMiss: 1}, Ops: 96, Concurrency: 4},
+		// Cluster lifecycles alone: create + placement ranking (what-if
+		// simulations) + delete, the most expensive class.
+		{Name: "Load/cluster/c4", Mix: loadgen.Mix{loadgen.ClassCluster: 1}, Ops: 48, Concurrency: 4},
+	}
+}
+
+// RunLoad executes every load scenario whose name matches filter (nil
+// means all) and returns service-level Results in suite order: N is the
+// request count, NsPerOp the mean latency, plus throughput and
+// p50/p95/p99. Each scenario gets a fresh in-process server, so earlier
+// scenarios cannot warm later ones' caches. A scenario with any failed
+// request errors out — a latency distribution over errors is not a
+// measurement.
+func RunLoad(filter *regexp.Regexp, emit func(Result)) ([]Result, error) {
+	var out []Result
+	for _, lb := range LoadSuite() {
+		if filter != nil && !filter.MatchString(lb.Name) {
+			continue
+		}
+		res, err := runOneLoad(lb)
+		if err != nil {
+			return out, err
+		}
+		if emit != nil {
+			emit(res)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runOneLoad(lb LoadBenchmark) (Result, error) {
+	ts := httptest.NewServer(server.New(loadServerConfig).Handler())
+	defer ts.Close()
+	run, err := loadgen.Run(loadgen.Config{
+		BaseURL:     ts.URL,
+		Concurrency: lb.Concurrency,
+		Ops:         lb.Ops,
+		Seed:        loadSeed,
+		Mix:         lb.Mix,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("load scenario %s: %w", lb.Name, err)
+	}
+	rep := loadgen.BuildReport(run)
+	if rep.Overall.Errors > 0 {
+		return Result{}, fmt.Errorf("load scenario %s: %d of %d requests failed",
+			lb.Name, rep.Overall.Errors, rep.Overall.Count)
+	}
+	return Result{
+		Name:          lb.Name,
+		N:             rep.Overall.Count,
+		NsPerOp:       rep.Overall.MeanNs,
+		ThroughputRPS: rep.Overall.ThroughputRPS,
+		P50Ns:         rep.Overall.P50Ns,
+		P95Ns:         rep.Overall.P95Ns,
+		P99Ns:         rep.Overall.P99Ns,
+	}, nil
+}

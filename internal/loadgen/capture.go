@@ -1,0 +1,291 @@
+// Deterministic capture/replay: Record issues a seeded request stream
+// sequentially against a fresh server and logs each request with a
+// canonical fingerprint of its response; Replay re-issues a recorded
+// log (time-compressed by default) against another build and reports
+// the exact first request whose behavior diverged.
+//
+// The fingerprint is an FNV-1a hash of the canonical response: JSON
+// bodies are re-marshaled compactly with sorted keys, so formatting and
+// key order never count as divergence, while any value change — a
+// predicted time, a status, a placement order, an error message — does.
+// This is the service-level analogue of the allocator differential
+// oracles: the committed golden log (scripts/testdata) is the recorded
+// behavior contract, and CI replays it against every build.
+//
+// Determinism contract: a capture is reproducible only against a fresh
+// server (counters and cache state start empty), issued sequentially
+// (Record forces this), with server knobs that shape responses pinned
+// (-workers and -cache appear in /v1/stats; the harness scripts pin
+// them). Under those conditions every response is a pure function of
+// the request prefix: the simulator is deterministic, and the server's
+// orderings (placement candidates, cluster and job listings, model and
+// scheme catalogs) are all defined orderings, not map iterations.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Entry is one recorded request/response pair: the request to re-issue
+// and the canonical response fingerprint to hold the replay against.
+type Entry struct {
+	Seq    int             `json:"seq"`
+	Class  string          `json:"class"`
+	Method string          `json:"method"`
+	Path   string          `json:"path"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	// AtUS is the request's offset from capture start, kept so replays
+	// can optionally pace instead of time-compress.
+	AtUS        int64  `json:"at_us"`
+	Status      int    `json:"status"`
+	Fingerprint string `json:"fingerprint"`
+	// Response is the canonical response body, retained so a divergence
+	// can be diffed against the recorded truth, not just detected.
+	Response string `json:"response"`
+}
+
+// Canonical reduces a response body to its canonical form: valid JSON
+// is re-marshaled compactly (Go sorts object keys), anything else is
+// kept byte-for-byte. Fingerprints and divergence checks both use this
+// form, so responses differing only in JSON formatting are identical.
+func Canonical(body []byte) string {
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		return string(body)
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return string(body)
+	}
+	return string(out)
+}
+
+// Fingerprint hashes a canonical response (FNV-1a 64, hex).
+func Fingerprint(canonical string) string {
+	h := fnv.New64a()
+	io.WriteString(h, canonical)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Record issues cfg's request stream sequentially (worker 0's stream;
+// Concurrency is ignored) and captures every request with its response
+// fingerprint. cfg.Ops must be set: a deterministic log has a fixed
+// length, not a duration. The server must be fresh — see the package
+// comment's determinism contract.
+func Record(cfg Config) ([]Entry, error) {
+	if cfg.Ops <= 0 {
+		return nil, fmt.Errorf("loadgen: Record needs a fixed op count (Ops), not a duration")
+	}
+	cfg.Concurrency = 1
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	g := newGen(cfg.Seed, 0, cfg.Mix)
+	start := time.Now()
+	var entries []Entry
+	for done := 0; done < cfg.Ops; done++ {
+		for _, req := range g.next() {
+			at := time.Since(start).Microseconds()
+			status, body, err := doCapture(cfg.Client, cfg.BaseURL, req)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: record seq %d (%s %s): %w", len(entries), req.Method, req.Path, err)
+			}
+			canon := Canonical(body)
+			entries = append(entries, Entry{
+				Seq:         len(entries),
+				Class:       req.Class,
+				Method:      req.Method,
+				Path:        req.Path,
+				Body:        req.Body,
+				AtUS:        at,
+				Status:      status,
+				Fingerprint: Fingerprint(canon),
+				Response:    canon,
+			})
+		}
+	}
+	return entries, nil
+}
+
+// doCapture sends one request and returns its status and full body.
+func doCapture(client *http.Client, base string, req Request) (int, []byte, error) {
+	var body io.Reader
+	if req.Body != nil {
+		body = bytes.NewReader(req.Body)
+	}
+	hreq, err := http.NewRequest(req.Method, base+req.Path, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if req.Body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Divergence describes one replayed request whose behavior changed.
+type Divergence struct {
+	Entry          Entry
+	GotStatus      int
+	GotFingerprint string
+	GotResponse    string
+}
+
+// String renders the divergence as a repro: the request to re-issue and
+// the first point where the canonical responses part ways.
+func (d Divergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq %d [%s] %s %s\n", d.Entry.Seq, d.Entry.Class, d.Entry.Method, d.Entry.Path)
+	if len(d.Entry.Body) > 0 {
+		fmt.Fprintf(&b, "  request body: %s\n", d.Entry.Body)
+	}
+	fmt.Fprintf(&b, "  recorded: status %d fingerprint %s\n", d.Entry.Status, d.Entry.Fingerprint)
+	fmt.Fprintf(&b, "  replayed: status %d fingerprint %s\n", d.GotStatus, d.GotFingerprint)
+	b.WriteString(indentDiff(d.Entry.Response, d.GotResponse))
+	return b.String()
+}
+
+// indentDiff pretty-prints both canonical bodies and reports the first
+// differing line with context, so a one-field change reads as a one-line
+// diff even though canonical JSON is a single line.
+func indentDiff(want, got string) string {
+	wl := indentLines(want)
+	gl := indentLines(got)
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("  first difference at response line %d:\n  - %s\n  + %s\n", i+1, wl[i], gl[i])
+		}
+	}
+	if len(wl) != len(gl) {
+		line := "  recorded response has %d lines, replayed %d (first %d identical)\n"
+		return fmt.Sprintf(line, len(wl), len(gl), n)
+	}
+	return "  responses identical after canonicalization (status-only divergence)\n"
+}
+
+func indentLines(canonical string) []string {
+	if !utf8.ValidString(canonical) {
+		return []string{fmt.Sprintf("%q", canonical)}
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, []byte(canonical), "", "  "); err != nil {
+		// Non-JSON (e.g. format=text) diffs line by line as-is.
+		return strings.Split(canonical, "\n")
+	}
+	return strings.Split(buf.String(), "\n")
+}
+
+// ReplayResult is the outcome of replaying a capture log.
+type ReplayResult struct {
+	Total       int
+	Divergences []Divergence
+}
+
+// ReplayConfig shapes a replay pass.
+type ReplayConfig struct {
+	BaseURL string
+	Client  *http.Client
+	// Pace, when positive, spaces requests at the recorded offsets
+	// divided by Pace (2 = twice recorded speed). 0 replays
+	// back-to-back (fully time-compressed).
+	Pace float64
+	// MaxDivergences stops the pass early once that many requests have
+	// diverged (0 = report them all). The first divergence is the
+	// repro; later ones are usually cascade noise.
+	MaxDivergences int
+}
+
+// Replay re-issues a recorded log in order against cfg.BaseURL and
+// compares each response's status and canonical fingerprint with the
+// recording. The target server must be fresh, like the recording's.
+func Replay(cfg ReplayConfig, entries []Entry) (ReplayResult, error) {
+	if cfg.BaseURL == "" {
+		return ReplayResult{}, fmt.Errorf("loadgen: BaseURL required")
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	start := time.Now()
+	var res ReplayResult
+	for _, e := range entries {
+		if cfg.Pace > 0 {
+			due := time.Duration(float64(e.AtUS)/cfg.Pace) * time.Microsecond
+			if d := due - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		status, body, err := doCapture(client, base, Request{Method: e.Method, Path: e.Path, Body: e.Body})
+		if err != nil {
+			return res, fmt.Errorf("loadgen: replay seq %d (%s %s): %w", e.Seq, e.Method, e.Path, err)
+		}
+		res.Total++
+		canon := Canonical(body)
+		fp := Fingerprint(canon)
+		if status != e.Status || fp != e.Fingerprint {
+			res.Divergences = append(res.Divergences, Divergence{
+				Entry:          e,
+				GotStatus:      status,
+				GotFingerprint: fp,
+				GotResponse:    canon,
+			})
+			if cfg.MaxDivergences > 0 && len(res.Divergences) >= cfg.MaxDivergences {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteLog writes entries as JSONL, one request per line (append-only,
+// diff-friendly — the committed golden log format).
+func WriteLog(w io.Writer, entries []Entry) error {
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLog parses a JSONL capture log.
+func ReadLog(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	dec := json.NewDecoder(r)
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loadgen: capture log entry %d: %w", len(entries), err)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("loadgen: capture log is empty")
+	}
+	return entries, nil
+}

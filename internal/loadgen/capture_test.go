@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bwshare/internal/server"
+)
+
+// freshServer starts an in-process bwserved with the pinned
+// deterministic-capture configuration (fixed workers and cache size, so
+// /v1/stats-shaped responses cannot vary by machine).
+func freshServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{Workers: 2, CacheSize: 256}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const captureOps = 24
+
+func record(t *testing.T, ts *httptest.Server) []Entry {
+	t.Helper()
+	entries, err := Record(Config{BaseURL: ts.URL, Ops: captureOps, Seed: 5, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestRecordDeterministic: two captures of the same stream against two
+// fresh servers are identical apart from wall-clock offsets.
+func TestRecordDeterministic(t *testing.T) {
+	a := record(t, freshServer(t))
+	b := record(t, freshServer(t))
+	if len(a) != len(b) {
+		t.Fatalf("capture lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.AtUS, y.AtUS = 0, 0
+		if x.Fingerprint != y.Fingerprint || x.Status != y.Status || x.Path != y.Path {
+			t.Fatalf("seq %d differs between identical captures:\n%+v\n%+v", i, x, y)
+		}
+	}
+}
+
+// TestReplayZeroDivergence: replaying a capture against a fresh server
+// of the same build reports no divergence — the acceptance baseline.
+func TestReplayZeroDivergence(t *testing.T) {
+	entries := record(t, freshServer(t))
+	ts := freshServer(t)
+	res, err := Replay(ReplayConfig{BaseURL: ts.URL, Client: ts.Client()}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != len(entries) {
+		t.Errorf("replayed %d of %d entries", res.Total, len(entries))
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("same-build replay diverged:\n%s", res.Divergences[0])
+	}
+}
+
+// TestReplayCatchesPerturbation: a single corrupted digit in one
+// response — injected by the PerturbNth test hook — must surface as a
+// divergence at exactly that request, with a fingerprint diff naming
+// the changed line.
+func TestReplayCatchesPerturbation(t *testing.T) {
+	entries := record(t, freshServer(t))
+	const nth = 7
+	srv := server.New(server.Config{Workers: 2, CacheSize: 256})
+	ts := httptest.NewServer(PerturbNth(srv.Handler(), nth))
+	defer ts.Close()
+	res, err := Replay(ReplayConfig{BaseURL: ts.URL, Client: ts.Client()}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 1 {
+		t.Fatalf("want exactly 1 divergence, got %d", len(res.Divergences))
+	}
+	d := res.Divergences[0]
+	if d.Entry.Seq != nth-1 {
+		t.Errorf("divergence at seq %d, want %d", d.Entry.Seq, nth-1)
+	}
+	if d.GotFingerprint == d.Entry.Fingerprint {
+		t.Error("divergence reported but fingerprints match")
+	}
+	repro := d.String()
+	for _, want := range []string{"recorded: status", "replayed: status", "first difference"} {
+		if !strings.Contains(repro, want) {
+			t.Errorf("repro missing %q:\n%s", want, repro)
+		}
+	}
+}
+
+// TestReplayMaxDivergences: an early-exit cap stops after the first
+// diverging request (the repro) instead of flooding the report.
+func TestReplayMaxDivergences(t *testing.T) {
+	entries := record(t, freshServer(t))
+	// Replaying out of order against a fresh server diverges everywhere
+	// state is involved; cap at 1.
+	ts := freshServer(t)
+	perturbed := append([]Entry(nil), entries...)
+	for i := range perturbed {
+		perturbed[i].Fingerprint = "ffffffffffffffff"
+	}
+	res, err := Replay(ReplayConfig{BaseURL: ts.URL, Client: ts.Client(), MaxDivergences: 1}, perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 1 || res.Total != 1 {
+		t.Errorf("cap 1: got %d divergences over %d replays", len(res.Divergences), res.Total)
+	}
+}
+
+// TestCanonicalAbsorbsFormatting: key order and whitespace must not
+// count as behavioral divergence; value changes must.
+func TestCanonicalAbsorbsFormatting(t *testing.T) {
+	a := Canonical([]byte("{\n  \"b\": 1,\n  \"a\": [1, 2]\n}"))
+	b := Canonical([]byte(`{"a":[1,2],"b":1}`))
+	if a != b || Fingerprint(a) != Fingerprint(b) {
+		t.Errorf("formatting changed the canonical form: %q vs %q", a, b)
+	}
+	c := Canonical([]byte(`{"a":[1,3],"b":1}`))
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("value change did not change the fingerprint")
+	}
+	text := Canonical([]byte("plain text\nnot json"))
+	if text != "plain text\nnot json" {
+		t.Errorf("non-JSON body not kept verbatim: %q", text)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	entries := record(t, freshServer(t))
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(back), len(entries))
+	}
+	for i := range back {
+		if back[i].Fingerprint != entries[i].Fingerprint || back[i].Path != entries[i].Path ||
+			string(back[i].Body) != string(entries[i].Body) {
+			t.Fatalf("entry %d changed in round trip", i)
+		}
+	}
+	if _, err := ReadLog(strings.NewReader("")); err == nil {
+		t.Error("empty log should be an error, not a trivially-passing replay")
+	}
+	if _, err := ReadLog(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed log should be an error")
+	}
+}
+
+// TestRecordRequiresOps: a duration-bounded capture would have
+// machine-dependent length; Record must refuse it.
+func TestRecordRequiresOps(t *testing.T) {
+	if _, err := Record(Config{BaseURL: "http://x", Duration: 1}); err == nil {
+		t.Error("Record without Ops should fail")
+	}
+}

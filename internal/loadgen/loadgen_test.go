@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bwshare/internal/server"
+)
+
+// TestGeneratorDeterminism pins the core contract of the harness: the
+// request stream is a pure function of (seed, worker, mix).
+func TestGeneratorDeterminism(t *testing.T) {
+	mix := DefaultMix()
+	a := newGen(42, 1, mix)
+	b := newGen(42, 1, mix)
+	for op := 0; op < 64; op++ {
+		ra, rb := a.next(), b.next()
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("op %d: streams diverged:\n%v\n%v", op, ra, rb)
+		}
+	}
+}
+
+// TestGeneratorWorkerStreamsDiffer guards against two workers issuing
+// identical cache-miss schemes (which would silently turn the miss
+// class into hits).
+func TestGeneratorWorkerStreamsDiffer(t *testing.T) {
+	mix := Mix{ClassMiss: 1}
+	a, b := newGen(7, 0, mix), newGen(7, 1, mix)
+	for op := 0; op < 8; op++ {
+		ra, rb := a.next(), b.next()
+		if string(ra[0].Body) == string(rb[0].Body) {
+			t.Fatalf("op %d: workers 0 and 1 generated the same miss body %s", op, ra[0].Body)
+		}
+	}
+}
+
+// TestGeneratorMissBodiesUnique: every miss op must produce a distinct
+// scheme, or repeats would be cache hits.
+func TestGeneratorMissBodiesUnique(t *testing.T) {
+	g := newGen(3, 0, Mix{ClassMiss: 1})
+	seen := map[string]bool{}
+	for op := 0; op < 128; op++ {
+		body := string(g.next()[0].Body)
+		if seen[body] {
+			t.Fatalf("op %d repeated miss body %s", op, body)
+		}
+		seen[body] = true
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("predict-hit=4, predict-miss=2,cluster=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Mix{ClassHit: 4, ClassMiss: 2, ClassCluster: 1}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("got %v want %v", m, want)
+	}
+	for _, bad := range []string{"", "nope=1", "predict-hit", "predict-hit=x", "predict-hit=-1", "predict-hit=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	sortDurations(lat)
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lat, c.q); got != c.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+// TestRunMixedLoad drives the full default mix concurrently against an
+// in-process bwserved and checks that every request succeeded and the
+// report accounts for every sample.
+func TestRunMixedLoad(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{Workers: 4, CacheSize: 256}).Handler())
+	defer ts.Close()
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Ops:         48,
+		Seed:        1,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 48 {
+		t.Fatalf("48 ops produced only %d samples", len(res.Samples))
+	}
+	classes := map[string]int{}
+	for _, s := range res.Samples {
+		classes[s.Class]++
+		if !s.OK() {
+			t.Errorf("sample %s %d op %d failed: status %d err %q", s.Class, s.Worker, s.Op, s.Status, s.Err)
+		}
+	}
+	// The three lifecycle steps always travel together.
+	if classes[ClassClusterCreate] != classes[ClassClusterPlace] || classes[ClassClusterPlace] != classes[ClassClusterDelete] {
+		t.Errorf("unbalanced cluster lifecycle steps: %v", classes)
+	}
+	rep := BuildReport(res)
+	if rep.Overall.Count != len(res.Samples) {
+		t.Errorf("report counts %d of %d samples", rep.Overall.Count, len(res.Samples))
+	}
+	if rep.Overall.Errors != 0 {
+		t.Errorf("report shows %d errors, want 0", rep.Overall.Errors)
+	}
+	sum := 0
+	for _, st := range rep.Classes {
+		sum += st.Count
+	}
+	if sum != rep.Overall.Count {
+		t.Errorf("class counts sum to %d, overall %d", sum, rep.Overall.Count)
+	}
+	var text strings.Builder
+	rep.Text(&text)
+	if !strings.Contains(text.String(), "p99") {
+		t.Errorf("report text missing p99 header:\n%s", text.String())
+	}
+	var log bytes.Buffer
+	if err := WriteLatencyLog(&log, res); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(log.String(), "\n"); lines != len(res.Samples) {
+		t.Errorf("latency log has %d lines for %d samples", lines, len(res.Samples))
+	}
+}
+
+// TestRunBadClassCounts400s: the bad-request class must reliably draw
+// client errors (the server stats test depends on that).
+func TestRunBadClassCounts400s(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{Workers: 2, CacheSize: 16}).Handler())
+	defer ts.Close()
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Ops:         10,
+		Seed:        9,
+		Mix:         Mix{ClassBad: 1},
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		if s.Status != 400 {
+			t.Errorf("bad-request sample got status %d, want 400", s.Status)
+		}
+	}
+	rep := BuildReport(res)
+	if rep.Overall.Errors != 10 {
+		t.Errorf("report errors = %d, want 10", rep.Overall.Errors)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("Run without BaseURL should fail")
+	}
+	if _, err := Run(Config{BaseURL: "http://x"}); err == nil {
+		t.Error("Run without Ops or Duration should fail")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Ops: 1, Mix: Mix{}}); err == nil {
+		t.Error("Run with empty mix should fail")
+	}
+}

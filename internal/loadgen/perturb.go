@@ -1,0 +1,47 @@
+// PerturbNth is the divergence-injection test hook: it proves the
+// capture/replay gate actually fires by corrupting exactly one response
+// in a way canonicalization cannot absorb.
+package loadgen
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// PerturbNth wraps a handler so the body of the n-th response (1-based,
+// counted across all requests) has its first digit incremented modulo
+// 10 — a one-character numeric change, the shape of a real behavioral
+// regression (a predicted time or counter shifting), which survives
+// JSON canonicalization. Responses without digits pass through
+// untouched. Intended for tests and harness self-checks only.
+func PerturbNth(h http.Handler, n int) http.Handler {
+	var count atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if count.Add(1) != int64(n) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		rec := &bufferingWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		body := rec.buf.Bytes()
+		if i := bytes.IndexFunc(body, func(r rune) bool { return r >= '0' && r <= '9' }); i >= 0 {
+			d := int(body[i] - '0')
+			body[i] = byte('0' + (d+1)%10)
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(rec.status)
+		w.Write(body)
+	})
+}
+
+// bufferingWriter captures a response so PerturbNth can rewrite it.
+type bufferingWriter struct {
+	http.ResponseWriter
+	buf    bytes.Buffer
+	status int
+}
+
+func (b *bufferingWriter) WriteHeader(status int)      { b.status = status }
+func (b *bufferingWriter) Write(p []byte) (int, error) { return b.buf.Write(p) }

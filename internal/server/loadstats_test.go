@@ -1,0 +1,80 @@
+package server
+
+import (
+	"testing"
+
+	"bwshare/internal/loadgen"
+)
+
+// TestStatsInvariantUnderLoad drives the full loadgen mixed workload —
+// plus a deliberate stream of bad requests — at bwload-level concurrency
+// and checks the stats ledger exactly: every single-shot request adds
+// one to requests, every batch call adds one per item, client_errors
+// matches the bad-request count, and errors never exceed requests. Under
+// -race this also exercises the atomic counters against genuinely
+// concurrent mixed traffic.
+func TestStatsInvariantUnderLoad(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, CacheSize: 256})
+
+	mix := loadgen.DefaultMix()
+	mix[loadgen.ClassBad] = 2
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:     ts.URL,
+		Concurrency: 8,
+		Ops:         160,
+		Seed:        7,
+		Mix:         mix,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+
+	// Reconstruct the expected ledger from the samples: each request is
+	// one count, except a batch call, which counts per item (loadgen's
+	// batch class always carries 4 items).
+	var wantRequests, wantBatchItems, wantClientErrors int64
+	classes := map[string]int{}
+	for _, sample := range res.Samples {
+		classes[sample.Class]++
+		if sample.Err != "" {
+			t.Fatalf("transport failure in %s sample: %s", sample.Class, sample.Err)
+		}
+		switch sample.Class {
+		case loadgen.ClassBatch:
+			wantRequests += 4
+			wantBatchItems += 4
+		case loadgen.ClassBad:
+			wantRequests++
+			wantClientErrors++
+		default:
+			wantRequests++
+		}
+	}
+	if classes[loadgen.ClassBad] == 0 || classes[loadgen.ClassBatch] == 0 {
+		t.Fatalf("workload must include bad and batch traffic, got %v", classes)
+	}
+
+	st := s.Snapshot()
+	if st.Requests != wantRequests {
+		t.Errorf("requests = %d, want %d (classes %v)", st.Requests, wantRequests, classes)
+	}
+	if st.BatchItems != wantBatchItems {
+		t.Errorf("batch_items = %d, want %d", st.BatchItems, wantBatchItems)
+	}
+	if st.ClientErrors != wantClientErrors {
+		t.Errorf("client_errors = %d, want %d", st.ClientErrors, wantClientErrors)
+	}
+	if st.InternalErrors != 0 {
+		t.Errorf("internal_errors = %d, want 0", st.InternalErrors)
+	}
+	if st.Errors != st.ClientErrors+st.InternalErrors {
+		t.Errorf("errors = %d, want client+internal = %d", st.Errors, st.ClientErrors+st.InternalErrors)
+	}
+	if st.Errors > st.Requests {
+		t.Errorf("invariant violated: errors %d > requests %d", st.Errors, st.Requests)
+	}
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Errorf("mixed workload should both hit and miss the cache: hits %d misses %d", st.CacheHits, st.CacheMisses)
+	}
+}

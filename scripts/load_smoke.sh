@@ -1,0 +1,56 @@
+#!/bin/sh
+# Service-level load smoke: build bwserved and bwload, start the server
+# with pinned sizing, and drive a short fixed-seed mixed workload at low
+# concurrency. Any failed request fails the run (bwload's SLO sanity
+# gate); the per-request latency log, JSON report and server log land in
+# $ARTIFACT_DIR (default: a temp dir, printed) so CI can upload them.
+# Used by `make load-smoke` and the CI load-slo job.
+set -eu
+
+GO=${GO:-go}
+SEED=${SEED:-1}
+REQUESTS=${REQUESTS:-200}
+CONCURRENCY=${CONCURRENCY:-4}
+bin=$(mktemp -d)
+out=${ARTIFACT_DIR:-$(mktemp -d)}
+mkdir -p "$out"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/bwserved ./cmd/bwload
+
+# Pinned sizing: the workload shape is a pure function of (seed, mix),
+# and fixing -workers/-cache keeps runs comparable across machines.
+"$bin/bwserved" -addr 127.0.0.1:0 -workers 4 -cache 512 >"$out/bwserved.log" 2>&1 &
+pid=$!
+
+base=""
+i=0
+while [ $i -lt 100 ]; do
+	base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$out/bwserved.log")
+	[ -n "$base" ] && break
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "load-smoke: bwserved exited early:" >&2
+		cat "$out/bwserved.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$base" ]; then
+	echo "load-smoke: bwserved did not announce an address" >&2
+	cat "$out/bwserved.log" >&2
+	exit 1
+fi
+
+if ! "$bin/bwload" -base "$base" -concurrency "$CONCURRENCY" -requests "$REQUESTS" \
+	-seed "$SEED" -latency-log "$out/latency.jsonl" -report "$out/load_report.json"; then
+	echo "load-smoke: bwload failed (see $out)" >&2
+	exit 1
+fi
+
+echo "load-smoke: $REQUESTS requests ok at concurrency $CONCURRENCY (artifacts in $out)"

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Deterministic capture/replay gate: replay the committed traffic log
+# scripts/testdata/load_replay.golden against a freshly built bwserved
+# and fail on any behavioral divergence (status or canonical response
+# fingerprint), printing the first diverging request as a repro.
+#
+#   scripts/replay_check.sh           # replay the golden (the CI gate)
+#   scripts/replay_check.sh record    # re-record the golden after an
+#                                     # intended behavior change
+#
+# The determinism contract (see internal/loadgen's package doc): the log
+# is recorded sequentially against a fresh server, and the server flags
+# below are part of the recorded behavior (-workers/-cache appear in
+# /v1/stats), so record and replay must pin the same ones.
+set -eu
+
+GO=${GO:-go}
+mode=${1:-replay}
+golden="$(dirname "$0")/testdata/load_replay.golden"
+bin=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/bwserved ./cmd/bwload
+
+"$bin/bwserved" -addr 127.0.0.1:0 -workers 2 -cache 256 >"$bin/served.log" 2>&1 &
+pid=$!
+
+base=""
+i=0
+while [ $i -lt 100 ]; do
+	base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$bin/served.log")
+	[ -n "$base" ] && break
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "replay-check: bwserved exited early:" >&2
+		cat "$bin/served.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$base" ]; then
+	echo "replay-check: bwserved did not announce an address" >&2
+	cat "$bin/served.log" >&2
+	exit 1
+fi
+
+case "$mode" in
+record)
+	"$bin/bwload" -base "$base" -record "$golden" -requests 120 -seed 1
+	echo "replay-check: re-recorded $golden"
+	;;
+replay)
+	if ! "$bin/bwload" -base "$base" -replay "$golden"; then
+		echo "replay-check: behavior diverged from $golden" >&2
+		echo "replay-check: if the change is intended, re-record with: scripts/replay_check.sh record" >&2
+		exit 1
+	fi
+	;;
+*)
+	echo "usage: $0 [record|replay]" >&2
+	exit 2
+	;;
+esac
