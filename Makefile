@@ -16,9 +16,14 @@ test:
 
 # race covers the concurrency-bearing packages, matching the CI race
 # step: the parallel experiment runner, the engines, and the HTTP
-# serving layer.
+# serving layer. The sharded-engine packages (worker-shard fan-out in
+# netsim, the parallel predict sessions, the des queues they own and
+# the replay driver on top) additionally run at -cpu=1,2,8 so the
+# shard workers execute both inline (GOMAXPROCS=1) and truly parallel,
+# with the bit-identical differential tests under the detector.
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/fault/ ./internal/netsim/... ./internal/des/ ./internal/server/ ./internal/fleet/ ./cmd/bwserved/
+	$(GO) test -race -cpu=1,2,8 ./internal/netsim/... ./internal/des/ ./internal/predict/ ./internal/replay/
+	$(GO) test -race ./internal/experiments/ ./internal/fault/ ./internal/server/ ./internal/fleet/ ./cmd/bwserved/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -33,8 +38,10 @@ bench-json:
 # bench-check is the CI regression gate: rerun the suite and fail on
 # >25% ns/op regression (or any allocation on a zero-alloc suite)
 # against the latest committed BENCH_<n>.json, or BASELINE=<path>.
+# IGNORE_MISSING=<regexp> exempts matching baseline entries from the
+# missing-from-run failure (for gating against an older snapshot).
 bench-check:
-	$(GO) run ./cmd/bwbench -check $(if $(BASELINE),-baseline $(BASELINE))
+	$(GO) run ./cmd/bwbench -check $(if $(BASELINE),-baseline $(BASELINE)) $(if $(IGNORE_MISSING),-ignore-missing '$(IGNORE_MISSING)')
 
 # fmt fails (listing the files) if any file needs gofmt; same gate as CI.
 fmt:

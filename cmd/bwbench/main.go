@@ -28,6 +28,7 @@
 //	bwbench -list                    # print benchmark names and exit
 //	bwbench -check                   # regression gate vs latest snapshot
 //	bwbench -check -baseline BENCH_2.json -threshold 25 -slo-threshold 50
+//	bwbench -check -ignore-missing '^(ShardChurn|ShardReplay)/'
 //
 // Without -pr, the snapshot number is one past the highest committed
 // BENCH_<n>.json, so a plain run never overwrites an earlier PR's
@@ -50,7 +51,9 @@
 // may not drop more than -slo-threshold percent below the baseline, and
 // p99 latency may not blow out more than -slo-threshold percent above
 // it. Benchmarks new in this tree (absent from the baseline) are
-// reported and skipped. This is the CI bench-regression + load-SLO gate.
+// reported and skipped; baseline benchmarks missing from the run fail
+// the gate unless -ignore-missing matches them. This is the CI
+// bench-regression + load-SLO gate.
 package main
 
 import (
@@ -98,6 +101,7 @@ func run(args []string, out io.Writer) error {
 	threshold := fs.Float64("threshold", 25, "ns/op regression tolerance for -check, in percent")
 	sloThreshold := fs.Float64("slo-threshold", 50, "service-level tolerance for -check, in percent: throughput floor and p99 ceiling for Load/ entries")
 	load := fs.Bool("load", true, "include the service-level load scenarios (Load/ entries)")
+	ignoreMissing := fs.String("ignore-missing", "", "regexp of baseline benchmarks allowed to be missing from this run under -check (e.g. when gating against an older snapshot that predates a renamed suite row)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,6 +121,16 @@ func run(args []string, out io.Writer) error {
 		var err error
 		if re, err = regexp.Compile(*filter); err != nil {
 			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	var missOK *regexp.Regexp
+	if *ignoreMissing != "" {
+		if !*check {
+			return fmt.Errorf("-ignore-missing only applies with -check")
+		}
+		var err error
+		if missOK, err = regexp.Compile(*ignoreMissing); err != nil {
+			return fmt.Errorf("bad -ignore-missing: %w", err)
 		}
 	}
 	if *pr == 0 {
@@ -165,7 +179,7 @@ func run(args []string, out io.Writer) error {
 		// retried into passing.
 		const retryRounds = 2
 		for round := 0; round < retryRounds; round++ {
-			_, slow, _ := compareResults(results, base.Benchmarks, *threshold, *sloThreshold)
+			_, slow, _ := compareResults(results, base.Benchmarks, *threshold, *sloThreshold, missOK)
 			if len(slow) == 0 {
 				break
 			}
@@ -176,7 +190,7 @@ func run(args []string, out io.Writer) error {
 			}
 			results = takeBest(results, rerun)
 		}
-		lines, _, failures := compareResults(results, base.Benchmarks, *threshold, *sloThreshold)
+		lines, _, failures := compareResults(results, base.Benchmarks, *threshold, *sloThreshold, missOK)
 		for _, l := range lines {
 			fmt.Fprintln(out, l)
 		}
@@ -282,9 +296,12 @@ func nsString(ns float64) string { return time.Duration(ns).String() }
 // so adding a suite entry never breaks the gate — but a baseline
 // benchmark absent from the fresh run fails it: a deleted or renamed
 // suite entry would otherwise silently drop its regression coverage.
+// missOK, when non-nil, exempts matching baseline names from that
+// missing-entry failure (the -ignore-missing escape hatch for gating
+// against a snapshot that predates an intentional suite change).
 // slow lists the names failing only the noise-prone timing checks
 // (ns/op, throughput, p99), so the caller can retry them.
-func compareResults(cur, base []benchsuite.Result, thresholdPct, sloPct float64) (lines, slow, failures []string) {
+func compareResults(cur, base []benchsuite.Result, thresholdPct, sloPct float64, missOK *regexp.Regexp) (lines, slow, failures []string) {
 	baseByName := make(map[string]benchsuite.Result, len(base))
 	for _, b := range base {
 		baseByName[b.Name] = b
@@ -295,6 +312,10 @@ func compareResults(cur, base []benchsuite.Result, thresholdPct, sloPct float64)
 	}
 	for _, b := range base {
 		if !curByName[b.Name] {
+			if missOK != nil && missOK.MatchString(b.Name) {
+				lines = append(lines, fmt.Sprintf("  %-40s missing from this run (exempted by -ignore-missing)", b.Name))
+				continue
+			}
 			lines = append(lines, fmt.Sprintf("  %-40s MISSING from this run (deleted or renamed?)", b.Name))
 			failures = append(failures, fmt.Sprintf("%s present in baseline but missing from this run", b.Name))
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -92,7 +93,7 @@ func TestCompareResults(t *testing.T) {
 		{Name: "b", NsPerOp: 90, AllocsPerOp: 7},  // faster; alloc increase on a non-zero-alloc suite is tolerated
 		{Name: "new", NsPerOp: 1, AllocsPerOp: 9}, // no baseline
 	}
-	lines, slow, failures := compareResults(cur, base, 25, 50)
+	lines, slow, failures := compareResults(cur, base, 25, 50, nil)
 	if len(failures) != 0 || len(slow) != 0 {
 		t.Fatalf("unexpected failures: %v (slow %v)", failures, slow)
 	}
@@ -102,7 +103,7 @@ func TestCompareResults(t *testing.T) {
 
 	cur[0].NsPerOp = 126 // +26%: over threshold
 	cur[1].AllocsPerOp = 5
-	_, slow, failures = compareResults(cur, base, 25, 50)
+	_, slow, failures = compareResults(cur, base, 25, 50, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op +26.0%") {
 		t.Fatalf("failures = %v", failures)
 	}
@@ -112,7 +113,7 @@ func TestCompareResults(t *testing.T) {
 
 	cur[0].NsPerOp = 100
 	cur[0].AllocsPerOp = 1 // alloc regression on a zero-alloc suite
-	_, slow, failures = compareResults(cur, base, 25, 50)
+	_, slow, failures = compareResults(cur, base, 25, 50, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "zero-alloc") {
 		t.Fatalf("failures = %v", failures)
 	}
@@ -133,7 +134,7 @@ func TestCompareResultsMissingFromRun(t *testing.T) {
 	cur := []benchsuite.Result{
 		{Name: "kept", NsPerOp: 100, AllocsPerOp: 0},
 	}
-	lines, slow, failures := compareResults(cur, base, 25, 50)
+	lines, slow, failures := compareResults(cur, base, 25, 50, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "gone") || !strings.Contains(failures[0], "missing") {
 		t.Fatalf("failures = %v, want one missing-benchmark failure", failures)
 	}
@@ -148,6 +149,34 @@ func TestCompareResultsMissingFromRun(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("report lines lack a MISSING entry: %v", lines)
+	}
+}
+
+// TestCompareResultsIgnoreMissing: -ignore-missing exempts matching
+// baseline entries from the missing-benchmark failure without touching
+// non-matching ones.
+func TestCompareResultsIgnoreMissing(t *testing.T) {
+	base := []benchsuite.Result{
+		{Name: "kept", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "ShardChurn/gige/64jobs/x8", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "gone", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	cur := []benchsuite.Result{
+		{Name: "kept", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	missOK := regexp.MustCompile(`^(ShardChurn|ShardReplay)/`)
+	lines, _, failures := compareResults(cur, base, 25, 50, missOK)
+	if len(failures) != 1 || !strings.Contains(failures[0], "gone") {
+		t.Fatalf("failures = %v, want only the non-exempt missing entry", failures)
+	}
+	exempted := false
+	for _, l := range lines {
+		if strings.Contains(l, "ShardChurn") && strings.Contains(l, "exempted") {
+			exempted = true
+		}
+	}
+	if !exempted {
+		t.Fatalf("report lines lack the exempted entry: %v", lines)
 	}
 }
 
@@ -184,7 +213,7 @@ func TestCompareLoadSLO(t *testing.T) {
 		// and ns/op blowups on load entries are irrelevant.
 		{Name: "Load/mixed/c4", N: 100, NsPerOp: 9e9, AllocsPerOp: 999, ThroughputRPS: 600, P50Ns: 5e5, P95Ns: 2e6, P99Ns: 5.6e6},
 	}
-	lines, slow, failures := compareResults(ok, base, 25, 50)
+	lines, slow, failures := compareResults(ok, base, 25, 50, nil)
 	if len(failures) != 0 || len(slow) != 0 {
 		t.Fatalf("within-SLO load entry failed: %v (slow %v)", failures, slow)
 	}
@@ -195,7 +224,7 @@ func TestCompareLoadSLO(t *testing.T) {
 	slowTput := []benchsuite.Result{
 		{Name: "Load/mixed/c4", N: 100, NsPerOp: 1e6, ThroughputRPS: 400, P99Ns: 4e6},
 	}
-	_, slow, failures = compareResults(slowTput, base, 25, 50)
+	_, slow, failures = compareResults(slowTput, base, 25, 50, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "throughput") {
 		t.Fatalf("throughput drop of 60%% must fail the 50%% floor: %v", failures)
 	}
@@ -206,7 +235,7 @@ func TestCompareLoadSLO(t *testing.T) {
 	blownP99 := []benchsuite.Result{
 		{Name: "Load/mixed/c4", N: 100, NsPerOp: 1e6, ThroughputRPS: 1000, P99Ns: 6.1e6},
 	}
-	_, slow, failures = compareResults(blownP99, base, 25, 50)
+	_, slow, failures = compareResults(blownP99, base, 25, 50, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "p99") {
 		t.Fatalf("p99 blowout of +52%% must fail the 50%% ceiling: %v", failures)
 	}

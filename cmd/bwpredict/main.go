@@ -8,6 +8,7 @@
 //	bwpredict -model gige -file myscheme.txt -static
 //	bwpredict -model gige -scheme s5 -compare   # side by side with substrate
 //	bwpredict -model gige -scheme s6 -topology "fattree 2x4 oversub 4"
+//	bwpredict -model gige -scheme s5 -shards 8  # component-parallel simulation
 //
 // A scheme file may declare its fabric with a 'topology:' header
 // instead of the -topology flag (not both). On a multi-switch fabric
@@ -50,8 +51,12 @@ func run(args []string, out io.Writer) error {
 	compare := fs.Bool("compare", false, "also run the matching substrate and print errors")
 	refFlag := fs.Float64("ref", 0, "reference rate override in bytes/second (0 = substrate default)")
 	topoFlag := fs.String("topology", "", `switch fabric, e.g. "fattree 2x4 oversub 2" (default: the scheme's header, or a crossbar)`)
+	shards := fs.Int("shards", 0, "worker shards for the progressive simulator; independent constraint components advance in parallel (0 or 1 = sequential; sharded results are bit-identical across shard counts and within float rounding of sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
 	}
 	// Flag parsing happily produces negative, NaN and ±Inf floats;
 	// reject them here instead of predicting garbage penalties.
@@ -90,13 +95,18 @@ func run(args []string, out io.Writer) error {
 	if ref == 0 {
 		ref = sub.RefRate()
 	}
+	if !sched.Empty() && *compare {
+		return fmt.Errorf("-compare measures the healthy substrate; drop -compare or the fault: headers")
+	}
 	var sess *predict.Session
-	if sched.Empty() {
-		sess = predict.NewSessionWithTopology(m, ref, topo)
-	} else {
-		if *compare {
-			return fmt.Errorf("-compare measures the healthy substrate; drop -compare or the fault: headers")
+	switch {
+	case *shards > 1:
+		if sess, err = predict.NewSessionParallel(m, ref, topo, sched, *shards); err != nil {
+			return err
 		}
+	case sched.Empty():
+		sess = predict.NewSessionWithTopology(m, ref, topo)
+	default:
 		if sess, err = predict.NewSessionWithFaults(m, ref, topo, sched); err != nil {
 			return err
 		}

@@ -238,3 +238,26 @@ func TestPredictIBAlias(t *testing.T) {
 		t.Error("-model ib should match -model infiniband")
 	}
 }
+
+// TestPredictShardsBitIdentical: -shards must not change a single byte
+// of the report, faulted or not (the sharded engine's determinism
+// contract), and negative counts are rejected.
+func TestPredictShardsBitIdentical(t *testing.T) {
+	for _, scheme := range []string{"fig4", "s5"} {
+		var seq, par strings.Builder
+		if err := run([]string{"-model", "gige", "-scheme", scheme}, &seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-model", "gige", "-scheme", scheme, "-shards", "8"}, &par); err != nil {
+			t.Fatal(err)
+		}
+		if seq.String() != par.String() {
+			t.Errorf("%s: sharded report differs from sequential:\n--- sequential\n%s--- sharded\n%s",
+				scheme, seq.String(), par.String())
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-model", "gige", "-scheme", "s1", "-shards", "-2"}, &sb); err == nil {
+		t.Error("negative -shards accepted")
+	}
+}

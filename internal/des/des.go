@@ -8,9 +8,16 @@
 //
 // Event structs are pooled inside the queue: a fired or canceled event
 // goes to a free list and is reused by the next Schedule, so long traces
-// (millions of packet events) do not churn the garbage collector.
-// Handles carry a generation number, which makes Cancel on a stale
-// handle a safe no-op even after the underlying struct was reused.
+// (millions of packet events) do not churn the garbage collector. The
+// free list is bounded (maxFreeEvents): one huge transient trace would
+// otherwise pin its peak event count for the life of the queue. Handles
+// carry a generation number, which makes Cancel on a stale handle a
+// safe no-op even after the underlying struct was reused.
+//
+// A Queue is single-owner: it has no internal locking, and every method
+// must be called from one goroutine (or otherwise externally
+// serialized). The sharded simulation engine gives each worker shard
+// its own Queue (see NewQueue) rather than sharing one.
 package des
 
 import "container/heap"
@@ -44,12 +51,29 @@ type Handle struct {
 }
 
 // Queue is a deterministic event queue. The zero value is ready to use.
+//
+// A Queue must be owned by a single driver goroutine for its lifetime:
+// methods are not safe for concurrent use. Per-shard simulation state
+// embeds one Queue per shard instead of locking a shared one.
 type Queue struct {
 	h    eventHeap
 	seq  uint64
 	now  float64
 	free []*Event
 }
+
+// NewQueue returns a fresh shard-local queue. It is equivalent to
+// new(Queue) — the zero value is ready — and exists to give sharded
+// callers an explicit construction point for per-shard, single-owner
+// queues (one per worker shard, never shared across goroutines).
+func NewQueue() *Queue { return new(Queue) }
+
+// maxFreeEvents bounds the event free list, mirroring netsim's
+// maxFreeFlows: structs beyond the cap are dropped to the garbage
+// collector instead of being retained, so one huge transient trace
+// cannot pin its peak event count forever. Generation bumps still
+// invalidate handles of dropped structs.
+const maxFreeEvents = 1 << 12
 
 // Now returns the current simulation time (the time of the last event
 // dispatched by Step, 0 initially).
@@ -89,13 +113,15 @@ func (q *Queue) get(t float64) *Event {
 }
 
 // recycle invalidates outstanding handles and returns ev to the free
-// list.
+// list, dropping it once the list is at capacity (see maxFreeEvents).
 func (q *Queue) recycle(ev *Event) {
 	ev.gen++
 	ev.fn = nil
 	ev.run = nil
 	ev.index = -1
-	q.free = append(q.free, ev)
+	if len(q.free) < maxFreeEvents {
+		q.free = append(q.free, ev)
+	}
 }
 
 // Schedule enqueues fn to run at time t and returns a cancellation

@@ -92,6 +92,14 @@ type Spec struct {
 	// Empty means healthy. Permanent zero-capacity faults are rejected
 	// (no job behind a dead link would ever finish).
 	Faults fault.Schedule
+	// Shards is the worker shard count of the cluster's simulator
+	// session: admission and placement what-ifs advance independent
+	// constraint components on up to Shards worker shards (see
+	// predict.NewSessionParallel). 0 or 1 keeps the sequential session.
+	// A sharded session's predictions are bit-identical across shard
+	// counts and agree with the sequential session to float rounding
+	// (exactly, on schemes forming a single constraint component).
+	Shards int
 }
 
 // Manager owns the named clusters. Create one with NewManager; it is
@@ -216,7 +224,9 @@ func (m *Manager) Create(spec Spec) (Info, error) {
 	if ref == 0 {
 		ref = sub.RefRate()
 	}
-	sess := predict.NewSessionWithTopology(model, ref, spec.Topo)
+	if spec.Shards < 0 {
+		return Info{}, fmt.Errorf("fleet: shard count must be >= 0, got %d", spec.Shards)
+	}
 	if !spec.Faults.Empty() {
 		// A crossbar fabric reports no host bound of its own, but the
 		// cluster has one: a fault on a host outside it would silently
@@ -226,9 +236,18 @@ func (m *Manager) Create(spec Spec) (Info, error) {
 				return Info{}, fmt.Errorf("fleet: fault (%s): host %d does not exist (%d hosts)", e, e.Target, hosts)
 			}
 		}
+	}
+	var sess *predict.Session
+	if spec.Shards > 1 {
+		if sess, err = predict.NewSessionParallel(model, ref, spec.Topo, spec.Faults, spec.Shards); err != nil {
+			return Info{}, fmt.Errorf("fleet: %v", err)
+		}
+	} else if !spec.Faults.Empty() {
 		if sess, err = predict.NewSessionWithFaults(model, ref, spec.Topo, spec.Faults); err != nil {
 			return Info{}, fmt.Errorf("fleet: %v", err)
 		}
+	} else {
+		sess = predict.NewSessionWithTopology(model, ref, spec.Topo)
 	}
 	c := &Cluster{
 		name:    spec.Name,

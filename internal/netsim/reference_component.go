@@ -1,5 +1,7 @@
 package netsim
 
+import "bwshare/internal/topology"
+
 // Map-based full-recompute oracle for the incremental component-scoped
 // allocator, in the style of reference.go: on every call it partitions
 // the flow set into connected components of the constraint graph from
@@ -102,3 +104,10 @@ type ReferenceComponentAllocator struct {
 func (a *ReferenceComponentAllocator) Allocate(flows []*Flow) {
 	referenceComponentAllocate(a.Cfg, flows)
 }
+
+var _ ComponentAllocator = (*ReferenceComponentAllocator)(nil)
+
+// ComponentTopology implements ComponentAllocator: the oracle fills per
+// constraint component by construction, so it may serve as a shard
+// allocator (or the oracle side of sharded differential tests).
+func (a *ReferenceComponentAllocator) ComponentTopology() topology.Spec { return a.Cfg.Topo }

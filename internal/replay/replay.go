@@ -113,10 +113,15 @@ type transfer struct {
 }
 
 type sim struct {
-	eng    core.Engine
-	clu    cluster.Cluster
-	place  cluster.Placement
-	q      des.Queue // task-side timers (compute ends, local copies, barrier releases)
+	eng   core.Engine
+	clu   cluster.Cluster
+	place cluster.Placement
+	// q holds the task-side timers (compute ends, local copies, barrier
+	// releases). The replay loop is the queue's single owner — engine
+	// internals may shard work across goroutines (core.ShardedEngine),
+	// but every des.Queue stays pinned to one driver; this one to the
+	// replay loop, a sharded engine's to its owning shard.
+	q      *des.Queue
 	tasks  []*task
 	sends  []*pendingSend
 	recvs  []*pendingRecv
@@ -149,6 +154,7 @@ func Run(eng core.Engine, clu cluster.Cluster, place cluster.Placement, tr *trac
 		eng:    eng,
 		clu:    clu,
 		place:  place,
+		q:      des.NewQueue(),
 		flows:  make(map[int]*transfer),
 		remain: tr.NumTasks(),
 	}
