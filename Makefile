@@ -6,7 +6,7 @@
 # verify because benchmarks take ~20s).
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-check fmt vet serve smoke load-smoke replay-check verify ci
+.PHONY: build test race bench bench-json bench-check fmt vet serve smoke load-smoke replay-check gateway-smoke verify ci
 
 build:
 	$(GO) build ./...
@@ -16,14 +16,14 @@ test:
 
 # race covers the concurrency-bearing packages, matching the CI race
 # step: the parallel experiment runner, the engines, and the HTTP
-# serving layer. The sharded-engine packages (worker-shard fan-out in
+# serving layer (worker tier, gateway tier and their binaries). The sharded-engine packages (worker-shard fan-out in
 # netsim, the parallel predict sessions, the des queues they own and
 # the replay driver on top) additionally run at -cpu=1,2,8 so the
 # shard workers execute both inline (GOMAXPROCS=1) and truly parallel,
 # with the bit-identical differential tests under the detector.
 race:
 	$(GO) test -race -cpu=1,2,8 ./internal/netsim/... ./internal/des/ ./internal/predict/ ./internal/replay/
-	$(GO) test -race ./internal/experiments/ ./internal/fault/ ./internal/server/ ./internal/fleet/ ./cmd/bwserved/
+	$(GO) test -race ./internal/experiments/ ./internal/fault/ ./internal/server/ ./internal/fleet/ ./internal/gateway/ ./cmd/bwserved/ ./cmd/bwgate/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -74,6 +74,14 @@ load-smoke:
 replay-check:
 	sh scripts/replay_check.sh
 
+# gateway-smoke records a fixed-seed stream against a direct worker,
+# replays it through a bwgate over two fresh replicas (must be
+# byte-identical — zero divergences), then runs a concurrent load pass
+# through the gateway and checks both upstreams served. ARTIFACT_DIR
+# keeps the logs, recorded stream and fleet report.
+gateway-smoke:
+	sh scripts/gateway_smoke.sh
+
 verify: fmt vet build test race smoke
 
-ci: verify bench-check load-smoke replay-check
+ci: verify bench-check load-smoke replay-check gateway-smoke

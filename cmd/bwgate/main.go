@@ -1,0 +1,165 @@
+// Command bwgate is the serving layer's gateway tier: one address in
+// front of N bwserved worker replicas (internal/gateway). It shards the
+// prediction-cache keyspace across the fleet with weighted rendezvous
+// hashing — repeats of a scheme always hit the replica that computed
+// it, so the fleet's effective cache is the union of the replicas'
+// LRUs — pins each named cluster's stateful session to one replica,
+// health-checks the fleet with automatic eject/re-add, and applies
+// admission control per upstream.
+//
+// Usage:
+//
+//	bwgate -upstream http://10.0.0.7:8100 -upstream http://10.0.0.8:8100
+//	bwgate -addr 127.0.0.1:0 \
+//	       -upstream 'http://127.0.0.1:8100,name=a,weight=2' \
+//	       -upstream 'http://127.0.0.1:8101,name=b'
+//	bwgate -max-inflight 64 -health-interval 2s -retry-after 1s
+//
+// Each -upstream takes 'url[,name=N][,weight=W]'. The name is the
+// replica's stable sharding identity — keys follow the name, not the
+// URL, so a replica can change address without cold-starting its share
+// of the keyspace; it defaults to the URL. Weight scales the replica's
+// share (default 1).
+//
+// Every response through the gateway is byte-identical to hitting a
+// worker directly; the only statuses the gateway originates are 429
+// (admission control, Retry-After), 503 (no healthy upstream,
+// Retry-After) and 502 (an upstream died mid-request). GET /v1/gateway/stats
+// reports the gateway's counters and the per-upstream routing split.
+//
+// The process shuts down cleanly on SIGINT or SIGTERM, draining
+// in-flight requests for up to 5 seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"bwshare/internal/gateway"
+)
+
+// shutdownGrace bounds how long a SIGINT/SIGTERM drain may take.
+const shutdownGrace = 5 * time.Second
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bwgate:", err)
+		os.Exit(1)
+	}
+}
+
+// upstreamFlags collects the repeated -upstream values.
+type upstreamFlags []gateway.Upstream
+
+func (u *upstreamFlags) String() string {
+	parts := make([]string, len(*u))
+	for i, up := range *u {
+		parts[i] = up.URL
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set parses one 'url[,name=N][,weight=W]' value.
+func (u *upstreamFlags) Set(v string) error {
+	fields := strings.Split(v, ",")
+	up := gateway.Upstream{URL: fields[0]}
+	if up.URL == "" {
+		return fmt.Errorf("empty upstream URL")
+	}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("upstream option %q is not key=value", f)
+		}
+		switch key {
+		case "name":
+			up.Name = val
+		case "weight":
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil || w <= 0 {
+				return fmt.Errorf("upstream weight %q must be a positive number", val)
+			}
+			up.Weight = w
+		default:
+			return fmt.Errorf("unknown upstream option %q (want name or weight)", key)
+		}
+	}
+	*u = append(*u, up)
+	return nil
+}
+
+// run starts the gateway and blocks until a fatal serve error or a stop
+// signal. stop overrides the OS signal channel in tests; nil installs
+// SIGINT/SIGTERM handling.
+func run(args []string, out io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("bwgate", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8090", "listen address (host:port, port 0 picks a free port)")
+	var ups upstreamFlags
+	fs.Var(&ups, "upstream", "worker replica as 'url[,name=N][,weight=W]' (repeatable, at least one)")
+	maxInflight := fs.Int("max-inflight", 0, "in-flight request bound per upstream; beyond it answer 429 + Retry-After (0 = unbounded)")
+	healthInterval := fs.Duration("health-interval", gateway.DefaultHealthInterval,
+		"active /v1/healthz probe period; ejected replicas rejoin on a passed probe (<= 0 disables the loop)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 429/503 answers (0 = 1s default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(ups) == 0 {
+		return fmt.Errorf("at least one -upstream is required")
+	}
+	interval := *healthInterval
+	if interval <= 0 {
+		interval = -1
+	}
+	g, err := gateway.New(gateway.Config{
+		Upstreams:      ups,
+		MaxInFlight:    *maxInflight,
+		HealthInterval: interval,
+		RetryAfter:     *retryAfter,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bwgate: listening on http://%s (%d upstreams, max-inflight=%d)\n",
+		ln.Addr(), len(ups), *maxInflight)
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		stop = sig
+	}
+	srv := &http.Server{Handler: g.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+		fmt.Fprintln(out, "bwgate: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

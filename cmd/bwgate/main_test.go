@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bwshare/internal/server"
+)
+
+// syncBuffer is an io.Writer safe for the run goroutine + test polling.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// startGate runs bwgate on an ephemeral port and returns its base URL
+// plus a shutdown function that waits for a clean exit.
+func startGate(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	var out syncBuffer
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &out, stop)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var url string
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway did not announce its address; output:\n%s", out.String())
+		}
+		s := out.String()
+		if i := strings.Index(s, "listening on http://"); i >= 0 {
+			rest := s[i+len("listening on http://"):]
+			if j := strings.IndexAny(rest, " \n"); j >= 0 {
+				url = "http://" + rest[:j]
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("gateway exited early: %v; output:\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return url, func() error {
+		stop <- os.Interrupt
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("shutdown timed out")
+		}
+	}
+}
+
+func TestGateServeAndShutdown(t *testing.T) {
+	cfg := server.Config{Workers: 2, CacheSize: 64}
+	a := httptest.NewServer(server.New(cfg).Handler())
+	defer a.Close()
+	b := httptest.NewServer(server.New(cfg).Handler())
+	defer b.Close()
+	url, shutdown := startGate(t,
+		"-upstream", a.URL+",name=a",
+		"-upstream", b.URL+",name=b,weight=2",
+		"-health-interval", "0s")
+	resp, err := http.Get(url + "/v1/predict?name=s4&model=gige")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "\"comms\"") {
+		t.Errorf("predict through gateway: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(url + "/v1/gateway/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "\"upstreams\"") {
+		t.Errorf("gateway stats: %d %s", resp.StatusCode, body)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func TestGateRunErrors(t *testing.T) {
+	var out syncBuffer
+	cases := [][]string{
+		{},                                      // no upstream
+		{"-upstream", ""},                       // empty URL
+		{"-upstream", "http://x,weight=-1"},     // bad weight
+		{"-upstream", "http://x,bogus=1"},       // unknown option
+		{"-upstream", "not-a-url"},              // not absolute
+		{"-upstream", "http://x", "-bogus-opt"}, // unknown flag
+	}
+	for _, args := range cases {
+		if err := run(args, &out, nil); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}

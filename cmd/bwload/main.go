@@ -15,6 +15,11 @@
 // trend gate is bwbench -check over the service-level entries in
 // BENCH_<n>.json.
 //
+// -base may point at a worker (bwserved) or a gateway (bwgate); the
+// target is auto-detected via /v1/gateway/stats, and a gateway run's
+// report gains the fleet line — the gateway's admission/health counters
+// and the per-upstream request split.
+//
 // Record mode captures a canonical traffic log: the seeded stream is
 // issued sequentially against a FRESH server and every request is
 // logged with its response's status and canonical-body fingerprint
@@ -124,6 +129,13 @@ func runLoad(out io.Writer, c loadConfig) error {
 		return err
 	}
 	rep := loadgen.BuildReport(res)
+	// A gateway target (cmd/bwgate) exposes its fleet counters on
+	// /v1/gateway/stats; a bare worker answers 404 there. Auto-detect so
+	// the same invocation works against either tier, and the gateway run
+	// gains the per-upstream routing split in its report.
+	if gw, err := loadgen.FetchGatewayStats(nil, c.base); err == nil && gw != nil {
+		rep.Gateway = gw
+	}
 	rep.Text(out)
 	if c.latencyLog != "" {
 		if err := writeFileWith(c.latencyLog, func(w io.Writer) error {

@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 
+	"bwshare/internal/gateway"
 	"bwshare/internal/loadgen"
 	"bwshare/internal/server"
 )
@@ -26,6 +27,20 @@ type LoadBenchmark struct {
 	Mix         loadgen.Mix // nil = loadgen.DefaultMix
 	Ops         int
 	Concurrency int
+	// Upstreams, when positive, routes the workload through an
+	// in-process gateway (internal/gateway) over that many fresh worker
+	// replicas instead of one bare worker — the Gateway/ entries.
+	Upstreams int
+	// CacheSize overrides loadServerConfig's per-worker cache capacity
+	// (0 keeps it). The Gateway/ union-cache scenarios shrink it below
+	// the catalog working set to make the sharding effect measurable.
+	CacheSize int
+	// Workers overrides loadServerConfig's per-replica simulator pool
+	// size (0 keeps it). The union-cache scenarios pin it to 1 so cache
+	// misses serialize on the lone worker while hits bypass the pool
+	// entirely — the miss penalty becomes queueing delay, not just the
+	// (microsecond-scale) recompute.
+	Workers int
 }
 
 // loadSeed fixes every scenario's request streams.
@@ -48,6 +63,30 @@ func LoadSuite() []LoadBenchmark {
 		// Cluster lifecycles alone: create + placement ranking (what-if
 		// simulations) + delete, the most expensive class.
 		{Name: "Load/cluster/c4", Mix: loadgen.Mix{loadgen.ClassCluster: 1}, Ops: 48, Concurrency: 4},
+
+		// Gateway/ scenarios: the same seeded workloads through the
+		// routing tier. The union-cache triplet makes the sharding effect
+		// a measured number: the hit-class catalog has 5 distinct keys, so
+		// one replica with a 3-entry cache thrashes (keys evict each
+		// other; most requests re-simulate), while two 3-entry replicas
+		// behind the gateway hold the whole set — rendezvous hashing sends
+		// each key to one home, so the fleet's effective cache is the
+		// union (6 entries) and the run converges to all-hits, approaching
+		// a single worker with the doubled (6-entry) cache.
+		// Long runs (10x the Load/ op counts) against single-worker
+		// replicas at high client concurrency: a catalog recompute is only
+		// ~15µs against a ~100µs HTTP round-trip, so the thrash penalty
+		// must be made structural — with one simulator worker, concurrent
+		// misses queue behind each other while cache hits answer straight
+		// off the LRU, and the hit-rate difference turns into a robust
+		// throughput gap instead of scheduling noise.
+		{Name: "Gateway/predict-hit/1up-cache3", Mix: loadgen.Mix{loadgen.ClassHit: 1}, Ops: 2000, Concurrency: 8, Upstreams: 1, CacheSize: 3, Workers: 1},
+		{Name: "Gateway/predict-hit/2up-cache3", Mix: loadgen.Mix{loadgen.ClassHit: 1}, Ops: 2000, Concurrency: 8, Upstreams: 2, CacheSize: 3, Workers: 1},
+		{Name: "Gateway/predict-hit/1up-cache6", Mix: loadgen.Mix{loadgen.ClassHit: 1}, Ops: 2000, Concurrency: 8, Upstreams: 1, CacheSize: 6, Workers: 1},
+		// The full mixed workload through a 2-replica fleet: batch
+		// split/merge, cluster-name affinity and the proxy hop, priced
+		// against Load/mixed/c4.
+		{Name: "Gateway/mixed/2up", Mix: nil, Ops: 160, Concurrency: 4, Upstreams: 2},
 	}
 }
 
@@ -77,15 +116,42 @@ func RunLoad(filter *regexp.Regexp, emit func(Result)) ([]Result, error) {
 }
 
 func runOneLoad(lb LoadBenchmark) (Result, error) {
-	ts := httptest.NewServer(server.New(loadServerConfig).Handler())
-	defer ts.Close()
+	cfg := loadServerConfig
+	if lb.CacheSize != 0 {
+		cfg.CacheSize = lb.CacheSize
+	}
+	if lb.Workers != 0 {
+		cfg.Workers = lb.Workers
+	}
+	var base string
+	if lb.Upstreams > 0 {
+		ups := make([]gateway.Upstream, lb.Upstreams)
+		for i := range ups {
+			w := httptest.NewServer(server.New(cfg).Handler())
+			defer w.Close()
+			// Stable names: httptest ports are random, and sharding by
+			// them would reshuffle the keyspace every run.
+			ups[i] = gateway.Upstream{Name: fmt.Sprintf("u%d", i), URL: w.URL}
+		}
+		g, err := gateway.New(gateway.Config{Upstreams: ups, HealthInterval: -1})
+		if err != nil {
+			return Result{}, fmt.Errorf("load scenario %s: %w", lb.Name, err)
+		}
+		defer g.Close()
+		ts := httptest.NewServer(g.Handler())
+		defer ts.Close()
+		base = ts.URL
+	} else {
+		ts := httptest.NewServer(server.New(cfg).Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
 	run, err := loadgen.Run(loadgen.Config{
-		BaseURL:     ts.URL,
+		BaseURL:     base,
 		Concurrency: lb.Concurrency,
 		Ops:         lb.Ops,
 		Seed:        loadSeed,
 		Mix:         lb.Mix,
-		Client:      ts.Client(),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("load scenario %s: %w", lb.Name, err)

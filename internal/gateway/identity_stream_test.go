@@ -1,0 +1,192 @@
+// The serving layer's hardest contract, tested end to end: a seeded
+// mixed request stream (catalog hits, fresh misses, fabrics, faults,
+// batches, text renderings, full cluster lifecycles) driven in lockstep
+// through a 2-replica gateway fleet and a single direct worker must
+// produce byte-identical responses at every step — including after one
+// replica is ejected and re-added mid-stream.
+//
+// External test package: the stream comes from internal/loadgen, which
+// imports this package for its fleet-aware report, so an in-package
+// test would cycle.
+package gateway_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"bwshare/internal/gateway"
+	"bwshare/internal/loadgen"
+	"bwshare/internal/server"
+)
+
+// healthToggle wraps a replica's handler so tests can fail its health
+// probe without restarting the server — the replica's cache must
+// survive the ejection, exactly like a real network partition.
+type healthToggle struct {
+	inner http.Handler
+	down  atomic.Bool
+}
+
+func (h *healthToggle) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/healthz" && h.down.Load() {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestStreamByteIdentityThroughEjectReAdd(t *testing.T) {
+	workerCfg := server.Config{Workers: 2, CacheSize: 512}
+	a := httptest.NewServer(server.New(workerCfg).Handler())
+	defer a.Close()
+	bToggle := &healthToggle{inner: server.New(workerCfg).Handler()}
+	b := httptest.NewServer(bToggle)
+	defer b.Close()
+	direct := httptest.NewServer(server.New(workerCfg).Handler())
+	defer direct.Close()
+
+	g, err := gateway.New(gateway.Config{
+		Upstreams: []gateway.Upstream{
+			{Name: "a", URL: a.URL},
+			{Name: "b", URL: b.URL},
+		},
+		HealthInterval: -1, // the test drives eject/re-add via ProbeNow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	issue := func(req loadgen.Request, base string) (int, string, []byte) {
+		t.Helper()
+		var body io.Reader
+		if req.Body != nil {
+			body = bytes.NewReader(req.Body)
+		}
+		hreq, err := http.NewRequest(req.Method, base+req.Path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Body != nil {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatalf("%s %s: %v", req.Method, req.Path, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), data
+	}
+	lockstep := func(phase string, reqs []loadgen.Request) {
+		t.Helper()
+		for i, req := range reqs {
+			gs, gct, gb := issue(req, gw.URL)
+			ds, dct, db := issue(req, direct.URL)
+			if gs != ds {
+				t.Fatalf("%s[%d] %s %s: status %d via gateway, %d direct\ngateway: %s\ndirect: %s",
+					phase, i, req.Method, req.Path, gs, ds, gb, db)
+			}
+			if gct != dct {
+				t.Fatalf("%s[%d] %s %s: Content-Type %q via gateway, %q direct",
+					phase, i, req.Method, req.Path, gct, dct)
+			}
+			if !bytes.Equal(gb, db) {
+				t.Fatalf("%s[%d] %s %s: response diverged\ngateway:\n%s\ndirect:\n%s",
+					phase, i, req.Method, req.Path, gb, db)
+			}
+		}
+	}
+
+	// Phase 1 — healthy fleet, the full default mix (worker stream 0):
+	// catalog hits warm each key's home replica, batches split and
+	// merge, cluster lifecycles create/rank/delete under name affinity.
+	phase1, err := loadgen.Requests(1, 0, nil, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockstep("phase1", phase1)
+	afterPhase1 := g.Snapshot()
+	for _, up := range afterPhase1.Upstreams {
+		if up.Requests == 0 {
+			t.Fatalf("phase 1 left replica %s idle — the keyspace is not sharding: %+v", up.Name, afterPhase1)
+		}
+	}
+
+	// Phase 2 — eject replica b mid-stream. Only fresh-key classes: a
+	// catalog key homed on b would be recomputed cold by a (cached:false
+	// vs the direct worker's hit), which is exactly the documented
+	// cache-affinity cost of an ejection, not a correctness bug; the
+	// byte-identity contract is over the traffic a healthy client sends
+	// during the outage — new work and complete cluster lifecycles.
+	bToggle.down.Store(true)
+	g.ProbeNow()
+	freshMix := loadgen.Mix{
+		loadgen.ClassMiss:    2,
+		loadgen.ClassTopo:    1,
+		loadgen.ClassFault:   1,
+		loadgen.ClassCluster: 1,
+	}
+	// Worker stream 1: unique volumes fold the worker index in, so these
+	// keys are disjoint from every phase-1 key.
+	phase2, err := loadgen.Requests(1, 1, freshMix, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBefore := upstreamRequests(afterPhase1, "b")
+	lockstep("phase2-ejected", phase2)
+	mid := g.Snapshot()
+	if got := upstreamRequests(mid, "b"); got != bBefore {
+		t.Errorf("ejected replica b served %d requests during the outage", got-bBefore)
+	}
+	if !upstreamHealthy(mid, "a") || upstreamHealthy(mid, "b") {
+		t.Errorf("mid-stream health state wrong: %+v", mid.Upstreams)
+	}
+
+	// Phase 3 — re-add b and repeat the entire phase-1 stream: b's cache
+	// survived the ejection, so every key that was warm before the
+	// outage is warm after it, on both serving paths. Then a fresh
+	// worker-2 stream proves new traffic uses the whole fleet again.
+	bToggle.down.Store(false)
+	g.ProbeNow()
+	lockstep("phase3-repeat", phase1)
+	phase3, err := loadgen.Requests(1, 2, nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockstep("phase3-fresh", phase3)
+	final := g.Snapshot()
+	if got := upstreamRequests(final, "b"); got == bBefore {
+		t.Error("re-added replica b never served again")
+	}
+	if !upstreamHealthy(final, "a") || !upstreamHealthy(final, "b") {
+		t.Errorf("final health state wrong: %+v", final.Upstreams)
+	}
+}
+
+func upstreamRequests(st gateway.Stats, name string) int64 {
+	for _, up := range st.Upstreams {
+		if up.Name == name {
+			return up.Requests
+		}
+	}
+	return -1
+}
+
+func upstreamHealthy(st gateway.Stats, name string) bool {
+	for _, up := range st.Upstreams {
+		if up.Name == name {
+			return up.Healthy
+		}
+	}
+	return false
+}

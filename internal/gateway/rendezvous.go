@@ -1,0 +1,87 @@
+// Weighted rendezvous (highest-random-weight) hashing: the gateway's
+// shard function. Every (key, upstream) pair gets an independent
+// pseudo-random score and the key is homed on the highest-scoring
+// healthy upstream. The property that makes this the right shape for a
+// cache-sharding gateway is minimal disruption: ejecting an upstream
+// remaps exactly the keys it owned (they fall through to their
+// second-choice upstream) and re-adding it restores exactly the old
+// assignment — no other key moves, so the fleet's caches stay warm
+// through churn.
+package gateway
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// rendezvousScore is the weighted HRW score of one (key, member) pair,
+// using the Logarithmic Method: u is a uniform hash of the pair in
+// (0, 1) and the score -weight/ln(u) makes the probability of member i
+// winning proportional to weight_i, independently for every key.
+func rendezvousScore(key uint64, member string, weight float64) float64 {
+	h := fnv.New64a()
+	var kb [8]byte
+	for i := range kb {
+		kb[i] = byte(key >> (8 * i))
+	}
+	h.Write(kb[:])
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	// FNV-1a alone is not enough here: a change in the FINAL input byte
+	// only perturbs the sum by ~prime (2^40 of 2^64), so member names
+	// that differ only in their last character ("u0" vs "u1", "a" vs
+	// "b") get u values correlated to ~2^-24 — the pairwise win rate
+	// stops being weight-proportional. The fmix64 finalizer restores
+	// full avalanche before the uniform mapping.
+	u := (float64(mix64(h.Sum64())) + 0.5) / float64(1<<63) / 2
+	// +0.5 keeps u off both endpoints of (0, 1), so ln(u) is finite and
+	// negative.
+	return -weight / math.Log(u)
+}
+
+// mix64 is the 64-bit avalanche finalizer from MurmurHash3 (fmix64):
+// every input bit flips every output bit with probability ~1/2.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// rendezvousRank orders member indices by descending score for key:
+// rank[0] is the key's home, rank[1] the failover the key falls to if
+// the home is ejected, and so on. Members with non-positive weight
+// never win a key.
+func rendezvousRank(key uint64, names []string, weights []float64) []int {
+	rank := make([]int, len(names))
+	scores := make([]float64, len(names))
+	for i := range names {
+		rank[i] = i
+		if weights[i] > 0 {
+			scores[i] = rendezvousScore(key, names[i], weights[i])
+		} else {
+			scores[i] = math.Inf(-1)
+		}
+	}
+	sort.SliceStable(rank, func(a, b int) bool {
+		return scores[rank[a]] > scores[rank[b]]
+	})
+	return rank
+}
+
+// hashString folds a string into a shard key (FNV-1a).
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// hashBytes folds raw bytes into a shard key (FNV-1a).
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func names(n int) ([]string, []float64) {
+	ns := make([]string, n)
+	ws := make([]float64, n)
+	for i := range ns {
+		ns[i] = fmt.Sprintf("up-%d", i)
+		ws[i] = 1
+	}
+	return ns, ws
+}
+
+// TestRendezvousBalance: equal weights spread a large keyspace evenly
+// across 2, 4 and 8 upstreams — every upstream within 10% of its fair
+// share.
+func TestRendezvousBalance(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8} {
+		ns, ws := names(n)
+		counts := make([]int, n)
+		for k := uint64(0); k < keys; k++ {
+			counts[rendezvousRank(k*2654435761, ns, ws)[0]]++
+		}
+		fair := float64(keys) / float64(n)
+		for i, c := range counts {
+			if dev := math.Abs(float64(c)-fair) / fair; dev > 0.10 {
+				t.Errorf("%d upstreams: %s owns %d keys, fair share %.0f (%.1f%% off)",
+					n, ns[i], c, fair, dev*100)
+			}
+		}
+	}
+}
+
+// TestRendezvousWeights: a double-weight upstream owns about twice the
+// keys of a single-weight one.
+func TestRendezvousWeights(t *testing.T) {
+	ns := []string{"heavy", "light"}
+	ws := []float64{2, 1}
+	const keys = 30000
+	heavy := 0
+	for k := uint64(0); k < keys; k++ {
+		if rendezvousRank(k*2654435761, ns, ws)[0] == 0 {
+			heavy++
+		}
+	}
+	share := float64(heavy) / keys
+	if share < 0.62 || share > 0.71 {
+		t.Errorf("weight-2 upstream owns %.1f%% of keys, want ~66.7%%", share*100)
+	}
+}
+
+// TestRendezvousWeightsAdjacentNames pins the fmix64 finalizer in
+// rendezvousScore: member names differing only in their final byte are
+// exactly where bare FNV-1a's weak last-byte avalanche left the two u
+// values correlated to ~2^-24, which turned weighted rendezvous into
+// heavier-always-wins (100% share instead of 66.7%).
+func TestRendezvousWeightsAdjacentNames(t *testing.T) {
+	for _, ns := range [][]string{{"u0", "u1"}, {"a", "b"}} {
+		ws := []float64{2, 1}
+		const keys = 30000
+		heavy := 0
+		for k := uint64(0); k < keys; k++ {
+			if rendezvousRank(k*2654435761, ns, ws)[0] == 0 {
+				heavy++
+			}
+		}
+		share := float64(heavy) / keys
+		if share < 0.62 || share > 0.71 {
+			t.Errorf("names %v: weight-2 member owns %.1f%% of keys, want ~66.7%%", ns, share*100)
+		}
+	}
+}
+
+// TestRendezvousRemovalStability is the property that makes rendezvous
+// the right shard function for a cache-sharding gateway: removing one
+// upstream remaps exactly the keys it owned — each falls to its own
+// second choice — and every key owned by a surviving upstream stays
+// put. (Re-adding is the same statement read backwards: scores are
+// pure functions of (key, name), so the old assignment returns
+// exactly.)
+func TestRendezvousRemovalStability(t *testing.T) {
+	const keys = 5000
+	ns, ws := names(4)
+	for removed := 0; removed < len(ns); removed++ {
+		survivorsN := make([]string, 0, len(ns)-1)
+		survivorsW := make([]float64, 0, len(ns)-1)
+		surviveIdx := make([]int, 0, len(ns)-1) // survivor -> original index
+		for i := range ns {
+			if i != removed {
+				survivorsN = append(survivorsN, ns[i])
+				survivorsW = append(survivorsW, ws[i])
+				surviveIdx = append(surviveIdx, i)
+			}
+		}
+		moved := 0
+		for k := uint64(0); k < keys; k++ {
+			key := k * 2654435761
+			before := rendezvousRank(key, ns, ws)
+			after := surviveIdx[rendezvousRank(key, survivorsN, survivorsW)[0]]
+			if before[0] == removed {
+				moved++
+				// An orphaned key must land on its pre-removal runner-up.
+				if after != before[1] {
+					t.Fatalf("key %d: owner %s removed; moved to %s, want second choice %s",
+						key, ns[removed], ns[after], ns[before[1]])
+				}
+			} else if after != before[0] {
+				t.Fatalf("key %d: owner %s survived removal of %s but key moved to %s",
+					key, ns[before[0]], ns[removed], ns[after])
+			}
+		}
+		if fair := keys / len(ns); moved < fair/2 || moved > fair*2 {
+			t.Errorf("removing %s moved %d of %d keys, expected near the fair share %d",
+				ns[removed], moved, keys, fair)
+		}
+	}
+}
+
+// TestRendezvousZeroWeight: a zero-weight member never wins a key.
+func TestRendezvousZeroWeight(t *testing.T) {
+	ns := []string{"a", "b", "drained"}
+	ws := []float64{1, 1, 0}
+	for k := uint64(0); k < 2000; k++ {
+		if rendezvousRank(k*2654435761, ns, ws)[0] == 2 {
+			t.Fatalf("zero-weight member won key %d", k)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Fleet-aware reporting: when the load target is a gateway
+// (internal/gateway) rather than a bare worker, the report gains the
+// gateway's own counters and the per-upstream routing split, so a load
+// run shows how the rendezvous sharding spread the keyspace across the
+// fleet.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"bwshare/internal/gateway"
+)
+
+// FetchGatewayStats retrieves <base>/v1/gateway/stats. A worker answers
+// that path 404, so a nil result with a nil error means the target is
+// not a gateway — callers use this to auto-detect the tier they are
+// loading.
+func FetchGatewayStats(client *http.Client, base string) (*gateway.Stats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(strings.TrimSuffix(base, "/") + "/v1/gateway/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: gateway stats: status %d", resp.StatusCode)
+	}
+	var st gateway.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("loadgen: gateway stats: %w", err)
+	}
+	return &st, nil
+}

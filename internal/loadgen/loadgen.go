@@ -172,6 +172,31 @@ func newGen(seed int64, worker int, mix Mix) *gen {
 	}
 }
 
+// Requests materializes worker w's deterministic stream of ops
+// operations as a flat request list (multi-step classes contribute
+// several requests per op) without issuing anything. Byte-identity
+// tests drive the same stream through two serving paths in lockstep;
+// distinct worker indices give streams with disjoint cache-miss keys
+// (the unique volumes fold the worker index in, the seed alone does
+// not).
+func Requests(seed int64, worker int, mix Mix, ops int) ([]Request, error) {
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	if err := mix.validate(); err != nil {
+		return nil, err
+	}
+	if ops <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests needs a positive op count, got %d", ops)
+	}
+	g := newGen(seed, worker, mix)
+	var out []Request
+	for done := 0; done < ops; done++ {
+		out = append(out, g.next()...)
+	}
+	return out, nil
+}
+
 // catalogPairs are the (scheme, model) pairs of the cache-hit class,
 // matching the smoke-test set.
 var catalogPairs = [...][2]string{

@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"bwshare/internal/gateway"
 )
 
 // ClassStats summarizes one request class (or, for Overall, the whole
@@ -31,6 +33,10 @@ type Report struct {
 	WallSeconds float64      `json:"wall_seconds"`
 	Overall     ClassStats   `json:"overall"`
 	Classes     []ClassStats `json:"classes"`
+	// Gateway is the fleet view when the target was a gateway: its
+	// admission/health counters and the per-upstream routing split.
+	// Absent when loading a worker directly.
+	Gateway *gateway.Stats `json:"gateway,omitempty"`
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of an ascending-sorted
@@ -109,6 +115,15 @@ func (r Report) Text(w io.Writer) {
 		fmt.Fprintf(w, "%-16s %8d %6d %10.1f %10s %10s %10s\n",
 			st.Class, st.Count, st.Errors, st.ThroughputRPS,
 			time.Duration(st.P50Ns), time.Duration(st.P95Ns), time.Duration(st.P99Ns))
+	}
+	if r.Gateway != nil {
+		g := r.Gateway
+		fmt.Fprintf(w, "gateway: %d requests  %d rejected  %d unavailable  %d retries  %d bad-gateway\n",
+			g.Requests, g.Rejected, g.Unavailable, g.Retries, g.BadGateway)
+		for _, up := range g.Upstreams {
+			fmt.Fprintf(w, "  upstream %-12s %8d requests %6d errors  healthy=%v\n",
+				up.Name, up.Requests, up.Errors, up.Healthy)
+		}
 	}
 }
 

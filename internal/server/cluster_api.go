@@ -1,8 +1,8 @@
 // HTTP handlers for the stateful cluster manager: CRUD over named
 // clusters and their resident jobs, plus the placement-ranking
 // endpoint. All state lives in internal/fleet; this file only
-// translates JSON to fleet calls and fleet errors to status codes
-// (statusFor).
+// translates JSON (the DTOs live in internal/api) to fleet calls and
+// fleet errors to status codes (statusFor).
 package server
 
 import (
@@ -10,59 +10,10 @@ import (
 	"fmt"
 	"net/http"
 
-	"bwshare/internal/fault"
+	"bwshare/internal/api"
 	"bwshare/internal/fleet"
 	"bwshare/internal/graph"
 )
-
-// ClusterRequest is the body of POST /v1/clusters.
-type ClusterRequest struct {
-	// Name identifies the cluster (lowercase letters, digits, dashes).
-	Name string `json:"name"`
-	// Model is a predict model registry name (default "gige").
-	Model string `json:"model,omitempty"`
-	// RefRate overrides the substrate reference rate (bytes/second).
-	RefRate float64 `json:"ref_rate,omitempty"`
-	// Hosts is the host count; required for crossbar fabrics, derived
-	// (or cross-checked) for multi-switch ones.
-	Hosts int `json:"hosts,omitempty"`
-	// Topology is the fabric; omitted means the paper's single crossbar.
-	Topology *TopologyRequest `json:"topology,omitempty"`
-	// Faults degrades the cluster's fabric for its whole lifetime; every
-	// admission and placement what-if is scored under this schedule.
-	Faults []FaultRequest `json:"faults,omitempty"`
-}
-
-// JobRequest is the body of POST /v1/clusters/{name}/jobs. Exactly one
-// of Catalog, Scheme or Comms gives the job's communication scheme; its
-// node ids are task ranks, mapped to hosts by the placement engine.
-type JobRequest struct {
-	// Name identifies the job within its cluster.
-	Name string `json:"name"`
-	// Catalog selects a built-in scheme (see /v1/schemes).
-	Catalog string `json:"catalog,omitempty"`
-	// Scheme is schemelang text. A 'topology:' header is rejected here:
-	// the cluster owns the fabric.
-	Scheme string `json:"scheme,omitempty"`
-	// Comms is the structured alternative.
-	Comms []CommRequest `json:"comms,omitempty"`
-	// Strategy pins a placement candidate ("block", "roundrobin",
-	// "greedy", "random:<k>"); empty or "best" admits the best-scoring
-	// candidate.
-	Strategy string `json:"strategy,omitempty"`
-	// Seeds adds seeded-random candidates to the best-of enumeration
-	// (0..fleet.MaxSeeds).
-	Seeds int `json:"seeds,omitempty"`
-}
-
-// PlacementsRequest is the body of POST /v1/clusters/{name}/placements:
-// a what-if JobRequest without a name or admission.
-type PlacementsRequest struct {
-	Catalog string        `json:"catalog,omitempty"`
-	Scheme  string        `json:"scheme,omitempty"`
-	Comms   []CommRequest `json:"comms,omitempty"`
-	Seeds   int           `json:"seeds,omitempty"`
-}
 
 // clusterDoc is the JSON form of a fleet.Info snapshot.
 type clusterDoc struct {
@@ -158,7 +109,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 // cluster owns the fabric and its fault schedule, so scheme text
 // declaring its own topology or faults is rejected.
 func resolveJobScheme(catalog, scheme string, comms []CommRequest) (*graph.Graph, error) {
-	g, topo, sched, err := resolveGraphForm(PredictRequest{Name: catalog, Scheme: scheme, Comms: comms})
+	g, topo, sched, err := api.ResolveGraphForm(PredictRequest{Name: catalog, Scheme: scheme, Comms: comms})
 	if err != nil {
 		return nil, fmt.Errorf("exactly one of catalog, scheme or comms must give the job's communications: %v", err)
 	}
@@ -192,25 +143,15 @@ func (s *Server) handleClusterCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	topo, err := req.Topology.spec()
+	topo, err := req.Topology.Spec()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	var sched fault.Schedule
-	if len(req.Faults) > 0 {
-		if len(req.Faults) > MaxFaultEvents {
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("schedule of %d faults exceeds limit %d", len(req.Faults), MaxFaultEvents))
-			return
-		}
-		events := make([]fault.Event, len(req.Faults))
-		for i, fr := range req.Faults {
-			if events[i], err = fr.event(i); err != nil {
-				s.writeError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-		}
-		sched = fault.Schedule{Events: events}
+	sched, err := api.BuildSchedule(req.Faults)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	info, err := s.clusters.Create(fleet.Spec{
 		Name:    req.Name,

@@ -2,9 +2,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -156,6 +158,37 @@ func TestRequestTimeout503(t *testing.T) {
 	s.pool <- w
 	if code, body := postJSON(t, ts.URL+"/v1/predict", req); code != http.StatusOK {
 		t.Fatalf("recovered service: status %d: %s", code, body)
+	}
+}
+
+// TestOverloadRetryAfter: every 503 — worker-pool saturation or a
+// request deadline — carries a Retry-After hint so well-behaved clients
+// back off instead of hammering a saturated pool. The gateway tier's
+// admission 429s reuse the same helper, keeping the hint's shape
+// uniform across tiers.
+func TestOverloadRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: 16, RequestTimeout: 20 * time.Millisecond})
+	w := <-s.pool // wedge the service: no worker can be acquired
+	defer func() { s.pool <- w }()
+	body, err := json.Marshal(PredictRequest{Model: "gige", Name: "s4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("wedged service: status %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("a 503 must carry a Retry-After hint")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After must be whole seconds >= 1, got %q", ra)
 	}
 }
 

@@ -1,9 +1,17 @@
-// Package server implements the bwserved HTTP service: the paper's
-// penalty models behind a JSON API, backed by a bounded worker pool of
-// reusable predict.Sessions and an LRU response cache keyed by
-// canonical scheme hash x model x reference rate, plus a stateful
-// multi-tenant cluster manager (internal/fleet) with a placement
-// engine.
+// Package server implements the worker tier of the bwshare serving
+// layer: the paper's penalty models behind a JSON API, backed by a
+// bounded worker pool of reusable predict.Sessions and an LRU response
+// cache keyed by canonical scheme hash x model x reference rate, plus a
+// stateful multi-tenant cluster manager (internal/fleet) with a
+// placement engine.
+//
+// The request/response contract — DTOs, size limits, scheme/topology/
+// fault resolution, the strict GET query grammar and the error-to-
+// status mapping — lives in internal/api and is shared with the
+// gateway tier (internal/gateway), which balances N of these workers
+// behind one address by sharding the cache keyspace. This package only
+// adds what a worker owns: the pool, the cache, the simulator calls
+// and the fleet state.
 //
 // Endpoints (all under /v1):
 //
@@ -14,7 +22,7 @@
 //	                        stdout for the same model and scheme
 //	GET  /v1/predict        catalog convenience: ?name=s4&model=gige;
 //	                        unknown or malformed query keys are rejected
-//	POST /v1/predict/batch  up to MaxBatch predict requests in one call
+//	POST /v1/predict/batch  up to api.MaxBatch predict requests in one call
 //	GET  /v1/models         model registry with reference rates
 //	GET  /v1/schemes        built-in scheme catalog
 //	GET  /v1/healthz        liveness probe
@@ -37,8 +45,8 @@
 // # Fault schedules
 //
 // A predict request may degrade its fabric mid-replay with a "faults"
-// array (at most MaxFaultEvents entries). Each entry is one scheduled
-// event:
+// array (at most api.MaxFaultEvents entries). Each entry is one
+// scheduled event:
 //
 //	{"kind": "link_down",    "switch": 0, "at": 1.5, "until": 3}
 //	{"kind": "link_degrade", "switch": 1, "factor": 0.25, "at": 0}
@@ -57,9 +65,9 @@
 //
 // Each request — batch items individually — gets Config.RequestTimeout
 // (default DefaultRequestTimeout) to acquire a worker and simulate;
-// exceeding it answers 503 and the abandoned worker rejoins the pool
-// only after its simulation finishes, so a slow run cannot corrupt a
-// later request's session.
+// exceeding it answers 503 with a Retry-After hint, and the abandoned
+// worker rejoins the pool only after its simulation finishes, so a slow
+// run cannot corrupt a later request's session.
 //
 // Client mistakes (unknown models, malformed schemes, missing clusters)
 // are 4xx with a JSON error envelope; failures of the service itself —
@@ -74,10 +82,10 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"strconv"
 	"sync/atomic"
 	"time"
 
+	"bwshare/internal/api"
 	"bwshare/internal/core"
 	"bwshare/internal/fault"
 	"bwshare/internal/fleet"
@@ -89,25 +97,30 @@ import (
 	"bwshare/internal/topology"
 )
 
-// MaxBatch bounds the number of requests in one /v1/predict/batch call.
-const MaxBatch = 256
-
-// MaxComms and MaxNodeID bound accepted schemes: generous for cluster
-// communication schemes (the paper's largest has 10 communications) but
-// small enough that a hostile request cannot make the models' conflict
-// analysis or the engine's dense per-node tables arbitrarily expensive.
-const (
-	MaxComms  = 4096
-	MaxNodeID = 1 << 16
+// The request contract is owned by internal/api; these aliases keep the
+// worker tier's public surface (and its historical importers) stable.
+type (
+	PredictRequest    = api.PredictRequest
+	TopologyRequest   = api.TopologyRequest
+	FaultRequest      = api.FaultRequest
+	CommRequest       = api.CommRequest
+	BatchRequest      = api.BatchRequest
+	ClusterRequest    = api.ClusterRequest
+	JobRequest        = api.JobRequest
+	PlacementsRequest = api.PlacementsRequest
 )
 
-// maxBodyBytes bounds request bodies; schemes are small text documents.
-const maxBodyBytes = 1 << 20
+// errorBody is the shared JSON error envelope (api.ErrorBody).
+type errorBody = api.ErrorBody
 
-// MaxFaultEvents bounds the fault schedule of one request: generous for
-// resilience studies, small enough that a hostile schedule cannot make
-// timeline compilation or mid-replay churn arbitrarily expensive.
-const MaxFaultEvents = 256
+// Shared size limits, re-exported from the contract package.
+const (
+	MaxBatch       = api.MaxBatch
+	MaxComms       = api.MaxComms
+	MaxNodeID      = api.MaxNodeID
+	MaxFaultEvents = api.MaxFaultEvents
+	maxBodyBytes   = api.MaxBodyBytes
+)
 
 // DefaultRequestTimeout is the per-request simulation deadline when the
 // Config leaves it zero.
@@ -154,32 +167,26 @@ type Server struct {
 	cacheMisses    atomic.Int64
 }
 
-// errInternal marks failures of the service itself — a recovered
-// simulator panic — as opposed to a rejected request. statusFor maps it
-// to 500 where plain errors map to 400.
-var errInternal = errors.New("internal error")
-
-// errTimeout marks a prediction that exceeded the configured request
-// deadline: either no worker freed up in time, or the simulation itself
-// was too slow (a wedged engine on a degenerate scheme). statusFor maps
-// it to 503 — the service is overloaded or stuck, the request may well
-// succeed on retry or with a longer deadline.
-var errTimeout = errors.New("request timed out")
+// errInternal and errTimeout are the shared serving-layer sentinels
+// (api.ErrInternal, api.ErrTimeout); statusFor maps them to 500/503.
+var (
+	errInternal = api.ErrInternal
+	errTimeout  = api.ErrTimeout
+)
 
 // statusFor translates an error from the predict or fleet layers into
-// the HTTP status the client should see.
+// the HTTP status the client should see: the worker tier layers the
+// fleet-error mapping on top of the shared api mapping.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, errTimeout):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, errInternal) || errors.Is(err, fleet.ErrInternal):
+	case errors.Is(err, fleet.ErrInternal):
 		return http.StatusInternalServerError
 	case errors.Is(err, fleet.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, fleet.ErrExists) || errors.Is(err, fleet.ErrCapacity):
 		return http.StatusConflict
 	default:
-		return http.StatusBadRequest
+		return api.StatusFor(err)
 	}
 }
 
@@ -386,150 +393,6 @@ func (s *Server) requestCtx(parent context.Context) (context.Context, context.Ca
 // unknown).
 func (s *Server) Model(name string) core.Model { return s.models[name] }
 
-// PredictRequest is the body of POST /v1/predict. Exactly one of Name,
-// Scheme or Comms selects the communication scheme.
-type PredictRequest struct {
-	// Model is a model registry name ("gige", "myrinet", "infiniband",
-	// "ib", "kimlee", "linear"). Default "gige".
-	Model string `json:"model,omitempty"`
-	// Name selects a built-in catalog scheme (see /v1/schemes).
-	Name string `json:"name,omitempty"`
-	// Scheme is a scheme description in the schemelang syntax.
-	Scheme string `json:"scheme,omitempty"`
-	// Comms is the structured alternative to Scheme.
-	Comms []CommRequest `json:"comms,omitempty"`
-	// Static selects the static formulas instead of the progressive
-	// simulator.
-	Static bool `json:"static,omitempty"`
-	// RefRate overrides the substrate reference rate (bytes/second).
-	RefRate float64 `json:"ref_rate,omitempty"`
-	// Topology places the scheme on a multi-switch fabric; omitted or
-	// kind "crossbar" is the paper's single switch. Scheme text with a
-	// 'topology:' header may not also carry this block.
-	Topology *TopologyRequest `json:"topology,omitempty"`
-	// Faults degrade the fabric mid-replay; omitted means healthy.
-	// Scheme text with 'fault:' headers may not also carry this block,
-	// and static predictions (which have no clock) reject faults.
-	Faults []FaultRequest `json:"faults,omitempty"`
-}
-
-// TopologyRequest is the JSON form of a fabric description.
-type TopologyRequest struct {
-	// Kind is "crossbar", "star" or "fattree".
-	Kind string `json:"kind"`
-	// Switches and HostsPerSwitch size the fabric (star/fattree).
-	Switches       int `json:"switches,omitempty"`
-	HostsPerSwitch int `json:"hosts_per_switch,omitempty"`
-	// Oversub is the fat-tree oversubscription ratio (>= 1).
-	Oversub float64 `json:"oversub,omitempty"`
-	// Place is "block" (default) or "roundrobin".
-	Place string `json:"place,omitempty"`
-}
-
-// spec converts and validates the request block.
-func (tr *TopologyRequest) spec() (topology.Spec, error) {
-	if tr == nil {
-		return topology.Spec{}, nil
-	}
-	kind, err := topology.ParseKind(tr.Kind)
-	if err != nil {
-		return topology.Spec{}, err
-	}
-	spec := topology.Spec{
-		Kind:           kind,
-		Switches:       tr.Switches,
-		HostsPerSwitch: tr.HostsPerSwitch,
-		Oversub:        tr.Oversub,
-	}
-	if tr.Place != "" {
-		if spec.Place, err = topology.ParsePlacement(tr.Place); err != nil {
-			return topology.Spec{}, err
-		}
-	}
-	if err := spec.Validate(); err != nil {
-		return topology.Spec{}, err
-	}
-	return spec, nil
-}
-
-// FaultRequest is one scheduled fault in JSON form. Kind selects the
-// family; Switch (link kinds) or Host (host_slow) names the target —
-// pointers, so target 0 is distinguishable from an omitted field.
-type FaultRequest struct {
-	// Kind is "link_down", "link_degrade" or "host_slow".
-	Kind string `json:"kind"`
-	// Switch is the edge-switch index for the link kinds.
-	Switch *int `json:"switch,omitempty"`
-	// Host is the host id for host_slow.
-	Host *int `json:"host,omitempty"`
-	// Factor is the capacity multiplier in [0, 1] (degrade/slow only).
-	Factor float64 `json:"factor,omitempty"`
-	// At is the injection time in simulated seconds; <= 0 folds into the
-	// initial fabric state.
-	At float64 `json:"at"`
-	// Until is the repair time (strictly after At); omitted means the
-	// fault never repairs.
-	Until float64 `json:"until,omitempty"`
-}
-
-// event converts the request form, attributing errors to faults[i].
-// Fabric-dependent checks (does the switch exist?) happen later, once
-// the topology is fully resolved.
-func (fr FaultRequest) event(i int) (fault.Event, error) {
-	var e fault.Event
-	var target *int
-	switch fr.Kind {
-	case "link_down":
-		e.Kind, target = fault.LinkDown, fr.Switch
-	case "link_degrade":
-		e.Kind, target = fault.LinkDegrade, fr.Switch
-	case "host_slow":
-		e.Kind, target = fault.HostSlow, fr.Host
-	default:
-		return fault.Event{}, fmt.Errorf("faults[%d]: unknown kind %q (want link_down, link_degrade or host_slow)", i, fr.Kind)
-	}
-	if e.Kind == fault.HostSlow && fr.Switch != nil {
-		return fault.Event{}, fmt.Errorf("faults[%d]: host_slow takes a host, not a switch", i)
-	}
-	if e.Kind != fault.HostSlow && fr.Host != nil {
-		return fault.Event{}, fmt.Errorf("faults[%d]: %s takes a switch, not a host", i, fr.Kind)
-	}
-	if target == nil {
-		field := "switch"
-		if e.Kind == fault.HostSlow {
-			field = "host"
-		}
-		return fault.Event{}, fmt.Errorf("faults[%d]: %s faults need a %q field", i, fr.Kind, field)
-	}
-	e.Target = *target
-	e.Factor = fr.Factor
-	e.At = fr.At
-	e.Until = fr.Until
-	return e, nil
-}
-
-// CommRequest is one structured communication. An empty Label is
-// auto-assigned c<index>; a zero Volume means schemelang.DefaultVolume.
-type CommRequest struct {
-	Label  string  `json:"label,omitempty"`
-	Src    int     `json:"src"`
-	Dst    int     `json:"dst"`
-	Volume float64 `json:"volume,omitempty"`
-}
-
-// BatchRequest is the body of POST /v1/predict/batch.
-type BatchRequest struct {
-	Requests []PredictRequest `json:"requests"`
-}
-
-// errorBody is the JSON error envelope. Status is set only on batch
-// item errors, where the enclosing HTTP status (200) cannot carry the
-// per-item classification.
-type errorBody struct {
-	Error  string `json:"error"`
-	Status int    `json:"status,omitempty"`
-}
-
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredictPost)
 	s.mux.HandleFunc("GET /v1/predict", s.handlePredictGet)
@@ -561,52 +424,14 @@ func (s *Server) handlePredictPost(w http.ResponseWriter, r *http.Request) {
 	s.servePredict(w, r, req)
 }
 
-// handlePredictGet is the catalog convenience form. The query grammar
-// is strict: an unknown key (a typo like ?refrate=1e9), a repeated key,
-// or a malformed value is a 400, never silently ignored — a typo that
-// drops a parameter would yield a confidently wrong prediction.
+// handlePredictGet is the catalog convenience form; the strict query
+// grammar lives in api.ParsePredictQuery (shared with the gateway's
+// shard-key parser).
 func (s *Server) handlePredictGet(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	var req PredictRequest
-	for key, vals := range r.URL.Query() {
-		if len(vals) != 1 {
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("duplicate query parameter %q", key))
-			return
-		}
-		v := vals[0]
-		switch key {
-		case "name":
-			req.Name = v
-		case "model":
-			req.Model = v
-		case "static":
-			switch v {
-			case "true", "1":
-				req.Static = true
-			case "false", "0":
-			default:
-				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("static must be true, false, 1 or 0, got %q", v))
-				return
-			}
-		case "ref_rate":
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("ref_rate %q is not a number", v))
-				return
-			}
-			req.RefRate = f
-		case "format":
-			if v != "text" && v != "json" {
-				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("format must be text or json, got %q", v))
-				return
-			}
-		default:
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown query parameter %q (want name, model, static, ref_rate or format)", key))
-			return
-		}
-	}
-	if req.Name == "" {
-		s.writeError(w, http.StatusBadRequest, "GET /v1/predict needs ?name=<catalog scheme>; POST a body for scheme text")
+	req, _, err := api.ParsePredictQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.servePredict(w, r, req)
@@ -697,7 +522,7 @@ func (s *Server) resolveAndPredict(ctx context.Context, req PredictRequest) (*gr
 	}
 	model := req.Model
 	if model == "" {
-		model = "gige"
+		model = api.DefaultModel
 	}
 	res, err := s.Predict(ctx, g, model, req.Static, req.RefRate, topo, sched)
 	if err != nil {
@@ -706,111 +531,11 @@ func (s *Server) resolveAndPredict(ctx context.Context, req PredictRequest) (*gr
 	return g, topo, res, nil
 }
 
-// resolveGraph builds the scheme graph, fabric and fault schedule from
-// exactly one of the three request forms and enforces the service's
-// size limits. The fabric comes from the request's topology block or
-// (scheme text only) a 'topology:' header, but not both; likewise the
-// faults come from the request's faults block or the scheme's 'fault:'
-// headers, but not both. Fabric-dependent fault checks run here, after
-// the topology is final.
+// resolveGraph is the shared request-resolution entry point
+// (api.ResolveGraph), kept as a package-level name for the worker
+// tier's own tests.
 func resolveGraph(req PredictRequest) (*graph.Graph, topology.Spec, fault.Schedule, error) {
-	g, topo, sched, err := resolveGraphForm(req)
-	if err != nil {
-		return nil, topo, sched, err
-	}
-	if req.Topology != nil {
-		if !topo.Trivial() {
-			return nil, topo, sched, fmt.Errorf("scheme text already declares topology %q; drop the request's topology block", topo)
-		}
-		if topo, err = req.Topology.spec(); err != nil {
-			return nil, topo, sched, err
-		}
-	}
-	if len(req.Faults) > 0 {
-		if !sched.Empty() {
-			return nil, topo, sched, fmt.Errorf("scheme text already declares fault: headers; drop the request's faults block")
-		}
-		if len(req.Faults) > MaxFaultEvents {
-			return nil, topo, sched, fmt.Errorf("schedule of %d faults exceeds limit %d", len(req.Faults), MaxFaultEvents)
-		}
-		events := make([]fault.Event, len(req.Faults))
-		for i, fr := range req.Faults {
-			if events[i], err = fr.event(i); err != nil {
-				return nil, topo, sched, err
-			}
-		}
-		sched = fault.Schedule{Events: events}
-		// Scheme-header faults were already checked against the scheme's
-		// own topology header at parse time; JSON faults are checked here
-		// against whichever fabric won.
-		for i, e := range sched.Events {
-			if err := fault.CheckEvent(e, topo); err != nil {
-				return nil, topo, sched, fmt.Errorf("faults[%d]: %s", i, err)
-			}
-		}
-	}
-	if g.Len() > MaxComms {
-		return nil, topo, sched, fmt.Errorf("scheme has %d communications, limit %d", g.Len(), MaxComms)
-	}
-	if g.MaxNode() >= MaxNodeID {
-		return nil, topo, sched, fmt.Errorf("node id %d exceeds limit %d", g.MaxNode(), MaxNodeID-1)
-	}
-	if err := topo.CheckFit(g.MaxNode()); err != nil {
-		return nil, topo, sched, err
-	}
-	if req.Static && !topo.Trivial() {
-		// The static formulas are the paper's crossbar-level expressions
-		// and cannot see the fabric; answering them under a declared
-		// topology would report link utilizations the times ignore.
-		return nil, topo, sched, fmt.Errorf("static prediction is crossbar-only; drop static or the topology")
-	}
-	if req.Static && !sched.Empty() {
-		// Same mismatch: the static formulas have no clock for a fault
-		// schedule to tick against.
-		return nil, topo, sched, fmt.Errorf("static prediction cannot model faults; drop static or the faults")
-	}
-	return g, topo, sched, nil
-}
-
-func resolveGraphForm(req PredictRequest) (*graph.Graph, topology.Spec, fault.Schedule, error) {
-	set := 0
-	if req.Name != "" {
-		set++
-	}
-	if req.Scheme != "" {
-		set++
-	}
-	if len(req.Comms) > 0 {
-		set++
-	}
-	if set != 1 {
-		return nil, topology.Spec{}, fault.Schedule{}, fmt.Errorf("exactly one of name, scheme or comms must be given")
-	}
-	switch {
-	case req.Name != "":
-		g, ok := schemes.Named(req.Name)
-		if !ok {
-			return nil, topology.Spec{}, fault.Schedule{}, fmt.Errorf("unknown scheme %q (see /v1/schemes)", req.Name)
-		}
-		return g, topology.Spec{}, fault.Schedule{}, nil
-	case req.Scheme != "":
-		return schemelang.ParseFull(req.Scheme)
-	default:
-		b := graph.NewBuilder()
-		for i, c := range req.Comms {
-			label := c.Label
-			if label == "" {
-				label = fmt.Sprintf("c%d", i)
-			}
-			vol := c.Volume
-			if vol == 0 {
-				vol = schemelang.DefaultVolume
-			}
-			b.Add(label, graph.NodeID(c.Src), graph.NodeID(c.Dst), vol)
-		}
-		g, err := b.Build()
-		return g, topology.Spec{}, fault.Schedule{}, err
-	}
+	return api.ResolveGraph(req)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -894,14 +619,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
-		return
+	if api.WriteJSON(w, code, v) != nil {
+		s.internalErrors.Add(1)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(append(data, '\n'))
 }
 
 // countError attributes one failed request to the client or the
@@ -914,10 +634,15 @@ func (s *Server) countError(code int) {
 	}
 }
 
+// writeError answers with the shared error envelope. Overload answers
+// (503: worker-pool saturation or a request deadline) carry a
+// Retry-After hint — the same helper the gateway tier uses for its
+// admission-control 429s — so well-behaved clients back off instead of
+// hammering a saturated pool.
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	s.countError(code)
-	data, _ := json.Marshal(errorBody{Error: msg})
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(append(data, '\n'))
+	if code == http.StatusServiceUnavailable {
+		api.SetRetryAfter(w.Header(), api.DefaultRetryAfter)
+	}
+	api.WriteError(w, code, msg)
 }

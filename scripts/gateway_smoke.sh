@@ -1,0 +1,117 @@
+#!/bin/sh
+# Gateway byte-identity + fleet smoke: build bwserved, bwgate and
+# bwload; record a fixed-seed mixed traffic stream against a fresh
+# direct worker; then replay it through a bwgate fronting two fresh
+# worker replicas and fail on ANY divergence (status or canonical
+# response fingerprint) — the gateway's contract is that no client can
+# tell it from a single worker. A second, concurrent load pass through
+# the gateway then checks the fleet line: both upstreams must have
+# served traffic (the keyspace actually sharded), and no request may
+# fail. Logs, the recorded stream, the replay output and the load
+# report land in $ARTIFACT_DIR (default: a temp dir, printed) so CI can
+# upload them. Used by `make gateway-smoke` and the CI gateway-smoke
+# job.
+set -eu
+
+GO=${GO:-go}
+SEED=${SEED:-1}
+RECORD_REQUESTS=${RECORD_REQUESTS:-60}
+LOAD_REQUESTS=${LOAD_REQUESTS:-200}
+CONCURRENCY=${CONCURRENCY:-4}
+bin=$(mktemp -d)
+out=${ARTIFACT_DIR:-$(mktemp -d)}
+mkdir -p "$out"
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/bwserved ./cmd/bwgate ./cmd/bwload
+
+# start_served <logfile> starts a worker replica with pinned sizing
+# (the cached flags in responses depend on -cache, so every server in
+# the comparison must agree). Runs in the MAIN shell — inside a $()
+# substitution the pids variable would update a subshell copy and the
+# cleanup trap would leak the server.
+start_served() {
+	"$bin/bwserved" -addr 127.0.0.1:0 -workers 2 -cache 256 >"$1" 2>&1 &
+	pids="$pids $!"
+}
+
+wait_for_addr() {
+	_log=$1
+	_what=$2
+	_base=""
+	_i=0
+	while [ $_i -lt 100 ]; do
+		_base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$_log")
+		[ -n "$_base" ] && break
+		sleep 0.1
+		_i=$((_i + 1))
+	done
+	if [ -z "$_base" ]; then
+		echo "gateway-smoke: $_what did not announce an address" >&2
+		cat "$_log" >&2
+		exit 1
+	fi
+	echo "$_base"
+}
+
+start_served "$out/direct.log"
+start_served "$out/worker_a.log"
+start_served "$out/worker_b.log"
+direct=$(wait_for_addr "$out/direct.log" bwserved)
+worker_a=$(wait_for_addr "$out/worker_a.log" bwserved)
+worker_b=$(wait_for_addr "$out/worker_b.log" bwserved)
+
+# Stable upstream names: sharding follows the name, not the ephemeral
+# port, so the key split is identical on every run.
+"$bin/bwgate" -addr 127.0.0.1:0 \
+	-upstream "$worker_a,name=a" \
+	-upstream "$worker_b,name=b" \
+	-health-interval 1s >"$out/bwgate.log" 2>&1 &
+pids="$pids $!"
+gate=$(wait_for_addr "$out/bwgate.log" bwgate)
+
+# 1. Record the seeded mixed stream against the fresh DIRECT worker:
+# this log is the reference behavior, cached flags included.
+"$bin/bwload" -base "$direct" -record "$out/gateway_replay.stream" \
+	-requests "$RECORD_REQUESTS" -seed "$SEED"
+
+# 2. Replay it through the gateway over the two fresh replicas. The
+# per-key hit/miss sequences must reproduce exactly — rendezvous
+# sharding sends every repeat of a key to the replica that computed it
+# — so zero divergences means byte-identical serving.
+if ! "$bin/bwload" -base "$gate" -replay "$out/gateway_replay.stream" \
+	>"$out/replay.out" 2>&1; then
+	echo "gateway-smoke: replay through the gateway DIVERGED from the direct worker:" >&2
+	cat "$out/replay.out" >&2
+	exit 1
+fi
+cat "$out/replay.out"
+
+# 3. Concurrent load pass through the gateway: no failed requests, and
+# the report's fleet line must show both upstreams serving.
+if ! "$bin/bwload" -base "$gate" -concurrency "$CONCURRENCY" \
+	-requests "$LOAD_REQUESTS" -seed 2 \
+	-report "$out/gateway_load_report.json" >"$out/load.out" 2>&1; then
+	echo "gateway-smoke: load pass through the gateway failed:" >&2
+	cat "$out/load.out" >&2
+	exit 1
+fi
+cat "$out/load.out"
+if ! grep -q '^gateway:' "$out/load.out"; then
+	echo "gateway-smoke: bwload did not print the gateway fleet line" >&2
+	exit 1
+fi
+for up in a b; do
+	if ! grep -E "upstream +$up +[1-9][0-9]* requests" "$out/load.out" >/dev/null; then
+		echo "gateway-smoke: upstream $up served no traffic — keyspace did not shard:" >&2
+		cat "$out/load.out" >&2
+		exit 1
+	fi
+done
+
+echo "gateway-smoke: replay identical + $LOAD_REQUESTS gateway requests ok across 2 upstreams (artifacts in $out)"
